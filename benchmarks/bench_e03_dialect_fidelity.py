@@ -1,0 +1,86 @@
+"""E3 — wrapper fidelity: modeling vendor quirks buys predicate pushdown.
+
+Claim (Draper §5): Nimble modeled "the individual quirks of different
+vendors … to a much finer degree", which "had a decisive impact on our
+performance on every comparison", because finer modeling pushes predicates
+other wrappers cannot.
+
+Method: the same filter-heavy workload against the same backends wrapped
+at three fidelity levels (generic / conservative / quirk-aware). Results
+are identical; rows shipped and simulated time fall monotonically as
+fidelity rises.
+"""
+
+from repro.federation import FederatedEngine
+from repro.wrappers import fidelity_levels
+
+from repro.bench import BenchConfig, build_enterprise
+
+WORKLOAD = [
+    # comparison-only: even the generic wrapper pushes this
+    "SELECT id, total FROM orders WHERE total > 3000",
+    # LIKE: conservative and up
+    "SELECT id FROM orders WHERE status LIKE 'ret%' AND total > 1000",
+    # vendor date function: only the quirk-aware wrapper dares push YEAR()
+    "SELECT id, total FROM orders WHERE YEAR(order_date) = 2004 AND total > 500",
+    # aggregate pushdown: conservative wrappers keep GROUP BY at the mediator
+    "SELECT status, COUNT(*) AS n, SUM(total) AS s FROM orders GROUP BY status",
+    # mixed join with partially pushable filters
+    "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id "
+    "WHERE o.status LIKE 'op%' AND o.total > 2500 AND UPPER(c.segment) = 'ENTERPRISE'",
+]
+
+
+def run_level(fixture, dialect):
+    catalog = fixture.catalog(
+        crm_dialect=dialect,
+        sales_dialect=dialect,
+        include_credit=False,
+        include_docs=False,
+    )
+    engine = FederatedEngine(catalog)
+    shipped = 0
+    elapsed = 0.0
+    answers = []
+    for sql in WORKLOAD:
+        result = engine.query(sql)
+        shipped += result.metrics.rows_shipped
+        elapsed += result.elapsed_seconds
+        answers.append(result.relation.sorted().rows)
+    return shipped, elapsed, answers
+
+
+def test_e03_dialect_fidelity(benchmark, record_experiment):
+    fixture = build_enterprise(BenchConfig(scale=1))
+    rows = []
+    shipped_by_level = {}
+    answers_by_level = {}
+    for level_name, dialect in fidelity_levels().items():
+        shipped, elapsed, answers = run_level(fixture, dialect)
+        shipped_by_level[level_name] = shipped
+        answers_by_level[level_name] = answers
+        rows.append((level_name, shipped, round(elapsed, 4)))
+
+    record_experiment(
+        "E3",
+        "finer vendor-quirk modeling -> more pushdown -> fewer rows shipped",
+        ["wrapper_fidelity", "rows_shipped", "simulated_elapsed_s"],
+        rows,
+        notes="5-query filter-heavy workload; answers identical at every level",
+    )
+
+    # Correctness is independent of fidelity.
+    assert answers_by_level["generic"] == answers_by_level["conservative"]
+    assert answers_by_level["generic"] == answers_by_level["quirk_aware"]
+    # Shape: strictly decreasing rows shipped with rising fidelity.
+    assert (
+        shipped_by_level["generic"]
+        > shipped_by_level["conservative"]
+        > shipped_by_level["quirk_aware"]
+    )
+    # The decisive factor Draper reports: generic ships a multiple more.
+    assert shipped_by_level["generic"] > 1.8 * shipped_by_level["quirk_aware"]
+
+    catalog = fixture.catalog(include_credit=False, include_docs=False)
+    engine = FederatedEngine(catalog)
+    benchmark(lambda: engine.query(WORKLOAD[4]))

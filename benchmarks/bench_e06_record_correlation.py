@@ -1,0 +1,101 @@
+"""E6 — record correlation: joining sources that share no reliable key.
+
+Claim (Draper §5): heterogeneous sources rarely share a clean join key;
+Nimble "worked by creating and storing what was essentially a join index
+between the sources". So (a) a similarity-based linker recovers the
+correspondence with high precision/recall at realistic dirtiness, (b) the
+stored join index makes the subsequent join cheap, and (c) blocking keeps
+the build tractable.
+
+Method: EIIBench's partner directory (typo-injected copies of CRM
+customers, no shared key) at swept dirtiness; ground truth is generated
+alongside, so precision/recall are exact.
+"""
+
+from repro.bench import BenchConfig, build_enterprise
+from repro.common.types import DataType as T
+from repro.correlation import FieldRule, JoinIndex, LinkerConfig, RecordLinker
+from repro.storage.io import relation_from_rows
+
+
+def relations_for(dirtiness: float):
+    fixture = build_enterprise(BenchConfig(scale=1, dirtiness=dirtiness))
+    customers = fixture.crm.table("customers").scan()
+    # strip qualifiers for the linker's simple field addressing
+    customers = relation_from_rows(
+        [("id", T.INT), ("name", T.STRING), ("city", T.STRING), ("email", T.STRING)],
+        [(row[0], row[1], row[3], row[2]) for row in customers.rows],
+    )
+    partners = relation_from_rows(
+        [
+            ("cid", T.INT),
+            ("full_name", T.STRING),
+            ("town", T.STRING),
+            ("email_addr", T.STRING),
+        ],
+        fixture.partner_rows,
+    )
+    return customers, partners, fixture.truth_pairs
+
+
+def make_linker(blocking=True) -> RecordLinker:
+    return RecordLinker(
+        LinkerConfig(
+            rules=[
+                FieldRule("name", "full_name", "jaro_winkler", weight=3.0),
+                FieldRule("city", "town", "exact", weight=1.0),
+                FieldRule("email", "email_addr", "exact", weight=2.0),
+            ],
+            threshold=0.82,
+            blocking_field=("name", "full_name") if blocking else None,
+        )
+    )
+
+
+def test_e06_record_correlation(benchmark, record_experiment):
+    rows = []
+    f1_by_dirt = {}
+    for dirtiness in (0.0, 0.1, 0.25, 0.5):
+        customers, partners, truth = relations_for(dirtiness)
+        blocked = make_linker(blocking=True)
+        index = JoinIndex.build(blocked, customers, partners, "id", "cid")
+        quality = index.quality(truth)
+        unblocked = make_linker(blocking=False)
+        unblocked.link(customers, partners, "id", "cid")
+        f1_by_dirt[dirtiness] = quality["f1"]
+        rows.append(
+            (
+                dirtiness,
+                len(truth),
+                len(index),
+                round(quality["precision"], 3),
+                round(quality["recall"], 3),
+                round(quality["f1"], 3),
+                blocked.comparisons,
+                unblocked.comparisons,
+            )
+        )
+
+    record_experiment(
+        "E6",
+        "similarity join index recovers cross-source identity without keys",
+        [
+            "dirtiness", "truth_pairs", "index_pairs", "precision", "recall",
+            "f1", "blocked_cmps", "allpairs_cmps",
+        ],
+        rows,
+        notes="linker: jaro-winkler(name) x3 + exact(city) + exact(email), t=0.82",
+    )
+
+    # Shape: near-perfect on clean data; degrades gracefully; precision
+    # stays high throughout (a stored join index must not pollute joins).
+    assert f1_by_dirt[0.0] > 0.98
+    assert f1_by_dirt[0.1] > 0.9
+    assert f1_by_dirt[0.5] < f1_by_dirt[0.1]
+    assert all(row[3] > 0.95 for row in rows)  # precision
+    # Blocking cuts comparisons by at least 3x without wrecking recall.
+    assert all(row[6] * 3 < row[7] for row in rows)
+
+    customers, partners, truth = relations_for(0.1)
+    index = JoinIndex.build(make_linker(), customers, partners, "id", "cid")
+    benchmark(lambda: index.join(customers, partners, "id", "cid"))

@@ -1,0 +1,42 @@
+"""Shared fixtures for the experiment harness.
+
+Each `bench_eXX_*.py` regenerates one experiment from EXPERIMENTS.md: it
+computes the experiment's series, prints the result table (also appended to
+`benchmarks/results/`), asserts the claim's *shape* (who wins, direction of
+the trend, where the crossover falls) and feeds a representative kernel to
+pytest-benchmark for timing.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.bench import BenchConfig, build_enterprise
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def enterprise():
+    """The shared scale-1 EIIBench enterprise (read-only across benches)."""
+    return build_enterprise(BenchConfig(scale=1, seed=42))
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_experiment(results_dir):
+    """Print an experiment table and persist it under benchmarks/results/."""
+    from repro.bench.harness import print_experiment
+
+    def record(experiment_id, claim, headers, rows, notes=""):
+        text = print_experiment(experiment_id, claim, headers, rows, notes)
+        path = results_dir / f"{experiment_id.lower()}.txt"
+        path.write_text(text + "\n")
+        return text
+
+    return record

@@ -1,0 +1,5 @@
+"""`python -m repro` launches the federated SQL shell (see repro.shell)."""
+
+from repro.shell import main
+
+raise SystemExit(main())

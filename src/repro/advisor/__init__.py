@@ -1,0 +1,25 @@
+"""The persist-vs-virtualize advisor.
+
+Halevy's introduction: "the challenge was to explain to potential
+customers the tradeoffs between the cost of building a warehouse, the cost
+of a live query and the cost of accessing stale data. Customers want
+simple formulas they could apply … but those are not available." Bitton's
+§3 then gives qualitative guidelines for when to persist and when to
+virtualize. This package turns both into code: `PersistenceAdvisor`
+applies the guidelines as hard rules first and otherwise evaluates an
+explicit cost formula, exposing the crossover analytically (E1, E14).
+"""
+
+from repro.advisor.advisor import (
+    CostParameters,
+    PersistenceAdvisor,
+    Recommendation,
+    WorkloadProfile,
+)
+
+__all__ = [
+    "CostParameters",
+    "PersistenceAdvisor",
+    "Recommendation",
+    "WorkloadProfile",
+]

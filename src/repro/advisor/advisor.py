@@ -1,0 +1,195 @@
+"""Guideline rules plus the warehouse-vs-live-vs-stale cost formula."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class WorkloadProfile:
+    """Everything the advisor knows about one integration need."""
+
+    name: str
+    queries_per_day: float = 100.0
+    #: seconds of staleness the application can tolerate; 0 = live only
+    freshness_requirement_s: float = 86_400.0
+    #: rows a typical integrated query touches across the sources
+    rows_touched: float = 10_000.0
+    #: total rows that a warehouse copy of the relevant data would hold
+    rows_to_copy: float = 100_000.0
+    history_required: bool = False
+    source_access_allowed: bool = True
+    one_time_or_prototype: bool = False
+    crosses_warehouse_boundary: bool = False
+    #: how much each second of average staleness costs per query, in the
+    #: same currency as the cost parameters (the "cost of stale data")
+    staleness_penalty_per_query_s: float = 0.0
+
+
+@dataclass
+class CostParameters:
+    """Unit costs for the formula (currency-per-unit; defaults are relative).
+
+    Derived from this package's own measured substrate constants: ETL cost
+    per row copied matches `repro.warehouse.etl.ETL_SECONDS_PER_ROW`; the
+    live-query premium reflects federated per-source overheads and
+    transfer charges versus a local star-schema read.
+    """
+
+    etl_cost_per_row: float = 5e-5
+    etl_overhead_per_refresh: float = 0.5
+    warehouse_query_cost_per_row: float = 2e-6
+    live_query_cost_per_row: float = 2e-5
+    live_query_overhead: float = 0.05
+    warehouse_storage_per_row_day: float = 1e-7
+
+
+@dataclass
+class Recommendation:
+    profile: str
+    choice: str  # "warehouse" | "eii"
+    rule: Optional[str]  # guideline that decided, or None when cost-based
+    warehouse_cost_per_day: Optional[float] = None
+    eii_cost_per_day: Optional[float] = None
+    refresh_interval_s: Optional[float] = None
+    reasons: list = field(default_factory=list)
+
+
+class PersistenceAdvisor:
+    """Applies Bitton's guidelines, then the cost formula.
+
+    Persistence guidelines (checked first, in the paper's order):
+      P1 persist to keep history;
+      P2 persist when access to source systems is denied.
+    Virtualization guidelines ("only … after none of the persistence
+    guidelines apply"):
+      V1 virtualize across warehouse boundaries / conformed dimensions;
+      V2 virtualize for special projects and prototypes;
+      V3 virtualize data that must reflect up-to-the-minute facts.
+    Otherwise: compare daily cost of a warehouse (build + refresh +
+    staleness penalty) against live federation.
+    """
+
+    def __init__(self, params: Optional[CostParameters] = None):
+        self.params = params or CostParameters()
+
+    # -- decision ------------------------------------------------------------------
+
+    def decide(self, profile: WorkloadProfile) -> Recommendation:
+        rec = Recommendation(profile.name, "eii", rule=None)
+        if profile.history_required:
+            return self._ruled(profile, "warehouse", "P1: persist to keep history")
+        if not profile.source_access_allowed:
+            return self._ruled(
+                profile, "warehouse", "P2: source access denied; extract instead"
+            )
+        if profile.crosses_warehouse_boundary:
+            return self._ruled(
+                profile, "eii", "V1: virtualize across warehouse boundaries"
+            )
+        if profile.one_time_or_prototype:
+            return self._ruled(
+                profile, "eii", "V2: virtualize special projects and prototypes"
+            )
+        if profile.freshness_requirement_s <= 60.0:
+            return self._ruled(
+                profile, "eii", "V3: up-to-the-minute operational facts need EII"
+            )
+        return self._cost_based(profile)
+
+    def _ruled(self, profile, choice, rule) -> Recommendation:
+        rec = Recommendation(profile.name, choice, rule)
+        rec.reasons.append(rule)
+        return rec
+
+    # -- cost formula ----------------------------------------------------------------
+
+    def warehouse_cost_per_day(
+        self, profile: WorkloadProfile, refresh_interval_s: float
+    ) -> float:
+        p = self.params
+        refreshes = 86_400.0 / max(refresh_interval_s, 1.0)
+        refresh_cost = refreshes * (
+            p.etl_overhead_per_refresh + profile.rows_to_copy * p.etl_cost_per_row
+        )
+        query_cost = profile.queries_per_day * (
+            profile.rows_touched * p.warehouse_query_cost_per_row
+        )
+        storage = profile.rows_to_copy * p.warehouse_storage_per_row_day
+        average_staleness = refresh_interval_s / 2.0
+        staleness_cost = (
+            profile.queries_per_day
+            * profile.staleness_penalty_per_query_s
+            * average_staleness
+        )
+        return refresh_cost + query_cost + storage + staleness_cost
+
+    def eii_cost_per_day(self, profile: WorkloadProfile) -> float:
+        p = self.params
+        return profile.queries_per_day * (
+            p.live_query_overhead + profile.rows_touched * p.live_query_cost_per_row
+        )
+
+    def best_refresh_interval(self, profile: WorkloadProfile) -> float:
+        """Cheapest refresh interval meeting the freshness requirement."""
+        candidates = [
+            interval
+            for interval in (300.0, 900.0, 3600.0, 4 * 3600.0, 86_400.0)
+            if interval <= profile.freshness_requirement_s
+        ] or [profile.freshness_requirement_s]
+        return min(
+            candidates, key=lambda i: self.warehouse_cost_per_day(profile, i)
+        )
+
+    def _cost_based(self, profile: WorkloadProfile) -> Recommendation:
+        interval = self.best_refresh_interval(profile)
+        warehouse = self.warehouse_cost_per_day(profile, interval)
+        eii = self.eii_cost_per_day(profile)
+        choice = "warehouse" if warehouse < eii else "eii"
+        rec = Recommendation(
+            profile.name,
+            choice,
+            rule=None,
+            warehouse_cost_per_day=warehouse,
+            eii_cost_per_day=eii,
+            refresh_interval_s=interval,
+        )
+        rec.reasons.append(
+            f"cost/day: warehouse={warehouse:.3f} vs eii={eii:.3f} "
+            f"(refresh every {interval:.0f}s)"
+        )
+        return rec
+
+    def crossover_queries_per_day(
+        self, profile: WorkloadProfile, low: float = 0.01, high: float = 1e6
+    ) -> Optional[float]:
+        """Query rate where warehouse and EII cost the same (None if never).
+
+        Found by bisection on the daily-cost difference as a function of
+        queries/day, holding the rest of the profile fixed.
+        """
+
+        def difference(rate: float) -> float:
+            probe = WorkloadProfile(**{**profile.__dict__, "queries_per_day": rate})
+            interval = self.best_refresh_interval(probe)
+            return self.warehouse_cost_per_day(probe, interval) - self.eii_cost_per_day(
+                probe
+            )
+
+        lo, hi = low, high
+        d_lo, d_hi = difference(lo), difference(hi)
+        if d_lo == 0:
+            return lo
+        if d_hi == 0:
+            return hi
+        if (d_lo > 0) == (d_hi > 0):
+            return None
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            d_mid = difference(mid)
+            if (d_mid > 0) == (d_lo > 0):
+                lo, d_lo = mid, d_mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0

@@ -1,0 +1,32 @@
+"""Data service agreements: formal obligations over data supply chains.
+
+Rosenthal §7: organizations need "agreements that capture the obligations
+of each party in a formal language … the provider may be obligated to
+provide data of a specified quality, and to notify the consumer if
+reported data changes", with "automated violation detection for some
+conditions". `DataServiceAgreement` declares obligations (freshness,
+quality, availability, volume); `AgreementMonitor` evaluates them against
+live context and logs violations (experiment E11).
+"""
+
+from repro.agreements.dsa import (
+    AgreementMonitor,
+    DataServiceAgreement,
+    Obligation,
+    Violation,
+    availability_obligation,
+    freshness_obligation,
+    null_fraction_obligation,
+    row_count_obligation,
+)
+
+__all__ = [
+    "AgreementMonitor",
+    "DataServiceAgreement",
+    "Obligation",
+    "Violation",
+    "availability_obligation",
+    "freshness_obligation",
+    "null_fraction_obligation",
+    "row_count_obligation",
+]

@@ -1,0 +1,145 @@
+"""Agreement declarations, evaluation and the violation log."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One formal condition the provider promises the consumer.
+
+    `check(context)` returns None when satisfied or a human-readable
+    violation description. `context` is whatever the monitor is given —
+    typically a dict with the live relation, staleness, source handle.
+    """
+
+    name: str
+    kind: str
+    check: Callable[[dict], Optional[str]]
+
+
+def freshness_obligation(max_staleness_s: float) -> Obligation:
+    """Data must be no older than `max_staleness_s` (context: "staleness")."""
+
+    def check(context: dict) -> Optional[str]:
+        staleness = context.get("staleness")
+        if staleness is None:
+            return "no staleness measurement available"
+        if staleness > max_staleness_s:
+            return f"staleness {staleness:.1f}s exceeds {max_staleness_s:.1f}s"
+        return None
+
+    return Obligation(f"fresh<={max_staleness_s}s", "freshness", check)
+
+
+def null_fraction_obligation(column: str, max_fraction: float) -> Obligation:
+    """At most `max_fraction` NULLs in `column` (context: "relation")."""
+
+    def check(context: dict) -> Optional[str]:
+        relation = context.get("relation")
+        if relation is None:
+            return "no relation delivered"
+        values = relation.column_values(column)
+        if not values:
+            return None
+        fraction = sum(1 for v in values if v is None) / len(values)
+        if fraction > max_fraction:
+            return (
+                f"null fraction {fraction:.2%} of {column!r} exceeds "
+                f"{max_fraction:.2%}"
+            )
+        return None
+
+    return Obligation(f"nulls({column})<={max_fraction}", "quality", check)
+
+
+def row_count_obligation(minimum: int) -> Obligation:
+    """The delivered relation must carry at least `minimum` rows."""
+
+    def check(context: dict) -> Optional[str]:
+        relation = context.get("relation")
+        if relation is None:
+            return "no relation delivered"
+        if len(relation) < minimum:
+            return f"row count {len(relation)} below minimum {minimum}"
+        return None
+
+    return Obligation(f"rows>={minimum}", "volume", check)
+
+
+def availability_obligation() -> Obligation:
+    """The source must admit external queries (context: "source")."""
+
+    def check(context: dict) -> Optional[str]:
+        source = context.get("source")
+        if source is None:
+            return "no source handle"
+        if not source.capabilities.allows_external_queries:
+            return f"source {source.name!r} refuses external queries"
+        return None
+
+    return Obligation("available", "availability", check)
+
+
+@dataclass
+class DataServiceAgreement:
+    """Provider-consumer contract over one data product."""
+
+    name: str
+    provider: str
+    consumer: str
+    obligations: Sequence[Obligation]
+    #: consumer-side duties (purpose limitation, protection) — recorded for
+    #: audit; their enforcement is out of the monitor's scope by design.
+    consumer_duties: Sequence[str] = ()
+
+
+@dataclass(frozen=True)
+class Violation:
+    agreement: str
+    obligation: str
+    kind: str
+    detail: str
+    at: float
+
+
+class AgreementMonitor:
+    """Evaluates registered agreements and keeps the violation log."""
+
+    def __init__(self, clock=time.time):
+        self.clock = clock
+        self._agreements: dict[str, DataServiceAgreement] = {}
+        self.violations: list[Violation] = []
+
+    def register(self, agreement: DataServiceAgreement) -> None:
+        self._agreements[agreement.name] = agreement
+
+    def agreements(self) -> list[DataServiceAgreement]:
+        return sorted(self._agreements.values(), key=lambda a: a.name)
+
+    def evaluate(self, name: str, context: dict) -> list[Violation]:
+        """Check one agreement now; violations are returned and logged."""
+        agreement = self._agreements[name]
+        found = []
+        for obligation in agreement.obligations:
+            detail = obligation.check(context)
+            if detail is not None:
+                violation = Violation(
+                    agreement.name, obligation.name, obligation.kind, detail, self.clock()
+                )
+                found.append(violation)
+                self.violations.append(violation)
+        return found
+
+    def evaluate_all(self, contexts: dict) -> list[Violation]:
+        """Check every agreement with its own context from `contexts`."""
+        found = []
+        for name in self._agreements:
+            found.extend(self.evaluate(name, contexts.get(name, {})))
+        return found
+
+    def violations_for(self, agreement: str) -> list[Violation]:
+        return [v for v in self.violations if v.agreement == agreement]

@@ -1,0 +1,26 @@
+"""EIIBench: a standardized federated-integration benchmark.
+
+Bitton §3: "to adequately measure EII performance, we need a standardized
+benchmark — à la TPC." EIIBench models the customer-360 enterprise the
+panel's application stories revolve around: a CRM database, a sales
+database, a support database, a finance database, a marketing spreadsheet,
+a credit-scoring web service with a binding pattern, a NETMARK document
+store and a dirty partner directory with no shared key. `build_enterprise`
+produces the whole thing deterministically from a seed and scale factor;
+`repro.bench.workload` defines the query mix; `repro.bench.harness`
+formats the result tables the experiment scripts print.
+"""
+
+from repro.bench.datagen import BenchConfig, EnterpriseFixture, build_enterprise
+from repro.bench.workload import QUERY_MIX, queries
+from repro.bench.harness import format_table, print_experiment
+
+__all__ = [
+    "BenchConfig",
+    "EnterpriseFixture",
+    "QUERY_MIX",
+    "build_enterprise",
+    "format_table",
+    "print_experiment",
+    "queries",
+]

@@ -1,0 +1,383 @@
+"""Deterministic customer-360 enterprise generator."""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.types import DataType as T
+from repro.federation import FederationCatalog
+from repro.netmark import DocumentSource, NodeStore
+from repro.sources import CsvSource, RelationalSource, WebServiceSource
+from repro.storage import Database
+from repro.wrappers import QUIRK_AWARE
+from repro.wrappers.dialects import Dialect
+
+CITIES = ["SF", "NY", "LA", "CHI", "SEA", "AUS", "BOS", "DEN"]
+SEGMENTS = ["enterprise", "smb", "consumer"]
+STATUSES = ["open", "shipped", "closed", "returned"]
+CATEGORIES = ["storage", "network", "compute", "license", "service"]
+
+_SYLLABLES = [
+    "an", "bel", "cor", "dan", "el", "far", "gus", "hol", "ira", "jo",
+    "kat", "lor", "mar", "nor", "ola", "pat", "quin", "ros", "sam", "tia",
+]
+
+
+@dataclass
+class BenchConfig:
+    """Knobs of the generator; everything downstream is derived from these."""
+
+    scale: int = 1
+    seed: int = 42
+    #: probability that a partner-directory field is corrupted (E6 knob)
+    dirtiness: float = 0.15
+
+    @property
+    def customers(self) -> int:
+        return 200 * self.scale
+
+    @property
+    def orders(self) -> int:
+        return 1000 * self.scale
+
+    @property
+    def tickets(self) -> int:
+        return 300 * self.scale
+
+    @property
+    def invoices(self) -> int:
+        return 400 * self.scale
+
+    @property
+    def documents(self) -> int:
+        return 60 * self.scale
+
+
+@dataclass
+class EnterpriseFixture:
+    """Everything EIIBench generates, ready to register or query."""
+
+    config: BenchConfig
+    crm: Database
+    sales: Database
+    support: Database
+    finance: Database
+    marketing: CsvSource
+    credit: WebServiceSource
+    docstore: NodeStore
+    docsource: DocumentSource
+    #: the dirty partner directory rows (no shared key with crm.customers)
+    partner_rows: list
+    #: ground truth: (customer id, contact id) pairs that refer to the same person
+    truth_pairs: set
+    #: per-document text, for search experiments: doc name -> text
+    doc_texts: dict = field(default_factory=dict)
+
+    def catalog(
+        self,
+        crm_dialect: Dialect = QUIRK_AWARE,
+        sales_dialect: Dialect = QUIRK_AWARE,
+        support_dialect: Dialect = QUIRK_AWARE,
+        finance_dialect: Dialect = QUIRK_AWARE,
+        include_credit: bool = True,
+        include_docs: bool = True,
+    ) -> FederationCatalog:
+        """A fresh federation catalog over the fixture's sources."""
+        catalog = FederationCatalog()
+        catalog.register_source(RelationalSource("crm", self.crm, dialect=crm_dialect))
+        catalog.register_source(
+            RelationalSource("sales", self.sales, dialect=sales_dialect)
+        )
+        catalog.register_source(
+            RelationalSource("support", self.support, dialect=support_dialect)
+        )
+        catalog.register_source(
+            RelationalSource("finance", self.finance, dialect=finance_dialect)
+        )
+        catalog.register_source(self.marketing)
+        if include_credit:
+            catalog.register_source(self.credit)
+        if include_docs:
+            catalog.register_source(self.docsource)
+        return catalog
+
+
+def _name(rng: random.Random) -> str:
+    parts = rng.randint(2, 3)
+    word = "".join(rng.choice(_SYLLABLES) for _ in range(parts))
+    return word.capitalize()
+
+
+def _date(rng: random.Random, start=datetime.date(2003, 1, 1), days=900):
+    return start + datetime.timedelta(days=rng.randint(0, days))
+
+
+def build_enterprise(config: Optional[BenchConfig] = None) -> EnterpriseFixture:
+    """Generate the full enterprise deterministically from the config."""
+    config = config or BenchConfig()
+    rng = random.Random(config.seed)
+
+    # -- CRM -----------------------------------------------------------------
+    crm = Database("crm")
+    crm.create_table(
+        "customers",
+        [
+            ("id", T.INT),
+            ("name", T.STRING),
+            ("email", T.STRING),
+            ("city", T.STRING),
+            ("segment", T.STRING),
+            ("created", T.DATE),
+        ],
+        primary_key=["id"],
+    )
+    customer_names: dict[int, tuple] = {}
+    for cust_id in range(1, config.customers + 1):
+        first, last = _name(rng), _name(rng)
+        city = rng.choice(CITIES)
+        email = f"{first.lower()}.{last.lower()}@example.com"
+        customer_names[cust_id] = (first, last, city, email)
+        crm.table("customers").insert(
+            (
+                cust_id,
+                f"{first} {last}",
+                email,
+                city,
+                rng.choice(SEGMENTS),
+                _date(rng),
+            )
+        )
+
+    # -- Sales ------------------------------------------------------------------
+    sales = Database("sales")
+    sales.create_table(
+        "products",
+        [
+            ("id", T.INT),
+            ("name", T.STRING),
+            ("category", T.STRING),
+            ("price", T.FLOAT),
+        ],
+        primary_key=["id"],
+    )
+    n_products = 20 + 10 * config.scale
+    for product_id in range(1, n_products + 1):
+        sales.table("products").insert(
+            (
+                product_id,
+                f"{rng.choice(CATEGORIES)}-{product_id:03d}",
+                rng.choice(CATEGORIES),
+                round(rng.uniform(5, 2000), 2),
+            )
+        )
+    sales.create_table(
+        "orders",
+        [
+            ("id", T.INT),
+            ("cust_id", T.INT),
+            ("product_id", T.INT),
+            ("order_date", T.DATE),
+            ("quantity", T.INT),
+            ("total", T.FLOAT),
+            ("status", T.STRING),
+        ],
+        primary_key=["id"],
+    )
+    for order_id in range(1, config.orders + 1):
+        # Zipf-ish skew: low customer ids order more (realistic hot accounts).
+        cust_id = min(
+            int(rng.paretovariate(1.2)), config.customers - 1
+        ) % config.customers + 1
+        product_id = rng.randint(1, n_products)
+        quantity = rng.randint(1, 9)
+        price = sales.table("products").get(product_id)[3]
+        sales.table("orders").insert(
+            (
+                order_id,
+                cust_id,
+                product_id,
+                _date(rng),
+                quantity,
+                round(price * quantity, 2),
+                rng.choice(STATUSES),
+            )
+        )
+
+    # -- Support --------------------------------------------------------------------
+    support = Database("support")
+    support.create_table(
+        "tickets",
+        [
+            ("id", T.INT),
+            ("cust_id", T.INT),
+            ("opened", T.DATE),
+            ("severity", T.INT),
+            ("state", T.STRING),
+            ("subject", T.STRING),
+        ],
+        primary_key=["id"],
+    )
+    subjects = ["login failure", "billing dispute", "slow dashboard",
+                "data export", "api timeout", "password reset"]
+    for ticket_id in range(1, config.tickets + 1):
+        support.table("tickets").insert(
+            (
+                ticket_id,
+                rng.randint(1, config.customers),
+                _date(rng),
+                rng.randint(1, 4),
+                rng.choice(["open", "pending", "resolved"]),
+                rng.choice(subjects),
+            )
+        )
+
+    # -- Finance ---------------------------------------------------------------------
+    finance = Database("finance")
+    finance.create_table(
+        "invoices",
+        [
+            ("id", T.INT),
+            ("cust_id", T.INT),
+            ("amount", T.FLOAT),
+            ("paid", T.BOOL),
+            ("due_date", T.DATE),
+        ],
+        primary_key=["id"],
+    )
+    for invoice_id in range(1, config.invoices + 1):
+        finance.table("invoices").insert(
+            (
+                invoice_id,
+                rng.randint(1, config.customers),
+                round(rng.uniform(50, 9000), 2),
+                rng.random() < 0.8,
+                _date(rng),
+            )
+        )
+
+    # -- Marketing spreadsheet ----------------------------------------------------------
+    marketing = CsvSource("marketing")
+    marketing.add_table(
+        "regions",
+        [("city", T.STRING), ("region", T.STRING)],
+        [
+            ("SF", "west"), ("LA", "west"), ("SEA", "west"), ("DEN", "west"),
+            ("NY", "east"), ("BOS", "east"), ("CHI", "central"), ("AUS", "central"),
+        ],
+    )
+    marketing.add_table(
+        "campaigns",
+        [("segment", T.STRING), ("campaign", T.STRING), ("budget", T.FLOAT)],
+        [
+            ("enterprise", "wine-and-dine", 250000.0),
+            ("smb", "webinar-series", 40000.0),
+            ("consumer", "social-blast", 90000.0),
+        ],
+    )
+
+    # -- Credit web service (binding pattern on cust_id) -----------------------------------
+    credit = WebServiceSource(
+        "creditsvc",
+        "credit",
+        [("cust_id", T.INT), ("score", T.INT), ("rating", T.STRING)],
+        "cust_id",
+        rows=[
+            (
+                cust_id,
+                score := rng.randint(450, 850),
+                "A" if score > 750 else "B" if score > 600 else "C",
+            )
+            for cust_id in range(1, config.customers + 1)
+        ],
+    )
+
+    # -- Documents (NETMARK) ------------------------------------------------------------
+    docstore = NodeStore("docs")
+    doc_texts: dict[str, str] = {}
+    for doc_index in range(config.documents):
+        cust_id = rng.randint(1, config.customers)
+        first, last, city, email = customer_names[cust_id]
+        kind = rng.choice(["meeting_note", "news", "brochure"])
+        text = (
+            f"{kind} about {first} {last} from {city}: "
+            f"{rng.choice(subjects)} discussed, priority {rng.randint(1, 5)}"
+        )
+        doc_name = f"{kind}_{doc_index:04d}"
+        doc_texts[doc_name] = text
+        docstore.ingest(
+            doc_name,
+            {
+                "kind": kind,
+                "customer": {"id": str(cust_id), "name": f"{first} {last}"},
+                "body": text,
+                "priority": str(rng.randint(1, 5)),
+            },
+        )
+    docsource = DocumentSource("docs", docstore)
+    docsource.define_view(
+        "doc_index",
+        [
+            ("kind", "kind", T.STRING),
+            ("cust_id", "customer/id", T.INT),
+            ("cust_name", "customer/name", T.STRING),
+            ("priority", "priority", T.INT),
+        ],
+    )
+
+    # -- Dirty partner directory (no shared key; E6 ground truth) ---------------------------
+    partner_rows: list = []
+    truth_pairs: set = set()
+    contact_id = 1000
+    for cust_id in range(1, config.customers + 1):
+        if rng.random() < 0.7:  # 70% of customers appear in the directory
+            first, last, city, email = customer_names[cust_id]
+            full_name = _corrupt(rng, f"{first} {last}", config.dirtiness)
+            dirty_city = _corrupt(rng, city, config.dirtiness / 2)
+            dirty_email = (
+                None if rng.random() < config.dirtiness else email
+            )
+            partner_rows.append((contact_id, full_name, dirty_city, dirty_email))
+            truth_pairs.add((cust_id, contact_id))
+            contact_id += 1
+    # plus some contacts with no CRM counterpart
+    for _ in range(config.customers // 10):
+        first, last = _name(rng), _name(rng)
+        partner_rows.append(
+            (contact_id, f"{first} {last}", rng.choice(CITIES), None)
+        )
+        contact_id += 1
+
+    return EnterpriseFixture(
+        config=config,
+        crm=crm,
+        sales=sales,
+        support=support,
+        finance=finance,
+        marketing=marketing,
+        credit=credit,
+        docstore=docstore,
+        docsource=docsource,
+        partner_rows=partner_rows,
+        truth_pairs=truth_pairs,
+        doc_texts=doc_texts,
+    )
+
+
+def _corrupt(rng: random.Random, text: str, probability: float) -> str:
+    """Inject a typo (swap, drop, or case change) with the given probability."""
+    if rng.random() >= probability or len(text) < 3:
+        return text
+    kind = rng.choice(["swap", "drop", "case", "double"])
+    position = rng.randint(1, len(text) - 2)
+    if kind == "swap":
+        chars = list(text)
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        return "".join(chars)
+    if kind == "drop":
+        return text[:position] + text[position + 1 :]
+    if kind == "double":
+        return text[:position] + text[position] + text[position:]
+    return text[:position] + text[position].swapcase() + text[position + 1 :]

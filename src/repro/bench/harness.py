@@ -1,0 +1,68 @@
+"""Output formatting shared by the experiment scripts under benchmarks/."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render an aligned text table (numbers right-aligned)."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered)) if rendered else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for raw, row in zip(rows, rendered):
+        cells = []
+        for value, text, width in zip(raw, row, widths):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                cells.append(text.rjust(width))
+            else:
+                cells.append(text.ljust(width))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:,.2f}"
+        if abs(value) < 0.001:
+            return f"{value:.1e}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def print_experiment(
+    experiment_id: str,
+    claim: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    notes: str = "",
+) -> str:
+    """Print one experiment's result block and return the text."""
+    lines = [
+        "=" * 72,
+        f"{experiment_id}: {claim}",
+        "=" * 72,
+        format_table(headers, list(rows)),
+    ]
+    if notes:
+        lines.append(f"note: {notes}")
+    text = "\n".join(lines)
+    print(text)
+    return text

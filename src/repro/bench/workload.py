@@ -1,0 +1,87 @@
+"""The EIIBench query mix: twelve federated queries over the enterprise.
+
+Q1-Q3 exercise single sources with increasing pushdown depth; Q4-Q8 are
+the cross-source joins the panel's CRM and dashboard stories describe;
+Q9-Q10 aggregate for analytics; Q11 drives the binding-pattern service;
+Q12 is the full customer-360 assembly.
+"""
+
+from __future__ import annotations
+
+QUERIES: dict[str, str] = {
+    "q1_point_lookup": (
+        "SELECT name, email, city FROM customers WHERE id = 7"
+    ),
+    "q2_filter_scan": (
+        "SELECT id, total FROM orders WHERE status = 'open' AND total > 500"
+    ),
+    "q3_source_aggregate": (
+        "SELECT status, COUNT(*) AS n, SUM(total) AS revenue "
+        "FROM orders GROUP BY status"
+    ),
+    "q4_crm_sales_join": (
+        "SELECT c.name, o.total, o.status FROM customers c "
+        "JOIN orders o ON c.id = o.cust_id WHERE o.total > 1000"
+    ),
+    "q5_city_revenue": (
+        "SELECT c.city, SUM(o.total) AS revenue FROM customers c "
+        "JOIN orders o ON c.id = o.cust_id GROUP BY c.city ORDER BY revenue DESC"
+    ),
+    "q6_region_rollup": (
+        "SELECT r.region, COUNT(*) AS orders FROM customers c "
+        "JOIN orders o ON c.id = o.cust_id "
+        "JOIN regions r ON c.city = r.city GROUP BY r.region"
+    ),
+    "q7_support_risk": (
+        "SELECT c.name, t.severity, t.subject FROM customers c "
+        "JOIN tickets t ON c.id = t.cust_id "
+        "WHERE t.severity >= 3 AND t.state = 'open'"
+    ),
+    "q8_unpaid_invoices": (
+        "SELECT c.name, i.amount FROM customers c "
+        "JOIN invoices i ON c.id = i.cust_id "
+        "WHERE i.paid = FALSE AND i.amount > 2000"
+    ),
+    "q9_segment_analytics": (
+        "SELECT c.segment, COUNT(*) AS n, AVG(o.total) AS avg_order "
+        "FROM customers c JOIN orders o ON c.id = o.cust_id "
+        "GROUP BY c.segment"
+    ),
+    "q10_product_mix": (
+        "SELECT p.category, SUM(o.quantity) AS units FROM products p "
+        "JOIN orders o ON p.id = o.product_id GROUP BY p.category "
+        "ORDER BY units DESC"
+    ),
+    "q11_credit_check": (
+        "SELECT c.name, cr.score, cr.rating FROM customers c "
+        "JOIN credit cr ON cr.cust_id = c.id WHERE c.segment = 'enterprise'"
+    ),
+    "q12_customer360": (
+        "SELECT c.name, c.city, SUM(o.total) AS revenue, "
+        "COUNT(DISTINCT t.id) AS tickets, MAX(cr.score) AS score "
+        "FROM customers c "
+        "JOIN orders o ON c.id = o.cust_id "
+        "LEFT JOIN tickets t ON t.cust_id = c.id "
+        "JOIN credit cr ON cr.cust_id = c.id "
+        "WHERE c.segment = 'enterprise' "
+        "GROUP BY c.name, c.city ORDER BY revenue DESC LIMIT 10"
+    ),
+}
+
+#: Relative frequencies for mixed-workload experiments (dashboard-heavy).
+QUERY_MIX: dict[str, int] = {
+    "q1_point_lookup": 30,
+    "q2_filter_scan": 15,
+    "q4_crm_sales_join": 20,
+    "q5_city_revenue": 10,
+    "q7_support_risk": 10,
+    "q9_segment_analytics": 10,
+    "q12_customer360": 5,
+}
+
+
+def queries(names=None) -> dict:
+    """The query dict, optionally restricted to `names`."""
+    if names is None:
+        return dict(QUERIES)
+    return {name: QUERIES[name] for name in names}

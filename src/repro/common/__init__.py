@@ -1,0 +1,36 @@
+"""Shared primitives: error taxonomy, the type system, schemas and relations.
+
+Everything above this layer — the SQL front end, the local engine, the
+mediator and the peripheral systems — exchanges data as `Relation` objects:
+an ordered `RelSchema` plus a list of plain Python tuples. Keeping rows as
+tuples (not per-row objects) keeps the executor allocation-light and makes
+operators trivially composable.
+"""
+
+from repro.common.errors import (
+    EIIError,
+    ParseError,
+    PlanError,
+    SchemaError,
+    SourceError,
+    TypeMismatchError,
+)
+from repro.common.types import DataType, coerce_value, infer_type, value_size
+from repro.common.schema import Column, RelSchema
+from repro.common.relation import Relation
+
+__all__ = [
+    "Column",
+    "DataType",
+    "EIIError",
+    "ParseError",
+    "PlanError",
+    "RelSchema",
+    "Relation",
+    "SchemaError",
+    "SourceError",
+    "TypeMismatchError",
+    "coerce_value",
+    "infer_type",
+    "value_size",
+]

@@ -1,0 +1,75 @@
+"""Error taxonomy for the EII stack.
+
+Every error raised by the package derives from `EIIError` so callers can
+catch integration failures without also swallowing programming errors.
+"""
+
+
+class EIIError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ParseError(EIIError):
+    """Raised by the SQL lexer/parser on malformed input.
+
+    Carries the offending position so tools can point at the token.
+    """
+
+    def __init__(self, message, position=None, text=None):
+        self.position = position
+        self.text = text
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SchemaError(EIIError):
+    """Raised when a schema is malformed or a name cannot be resolved."""
+
+
+class TypeMismatchError(EIIError):
+    """Raised when a value cannot be coerced to the declared column type."""
+
+
+class PlanError(EIIError):
+    """Raised when a logical/physical plan cannot be built or is invalid."""
+
+
+class SourceError(EIIError):
+    """Raised when a data source rejects or fails a component query."""
+
+
+class CapabilityError(SourceError):
+    """Raised when a component query exceeds a source's declared capabilities."""
+
+
+class TransactionError(EIIError):
+    """Raised on invalid transaction usage in the storage substrate."""
+
+
+class IntegrityError(EIIError):
+    """Raised on key violations or constraint failures in storage."""
+
+
+class ReformulationError(EIIError):
+    """Raised when a mediated query has no rewriting over the sources."""
+
+
+class AgreementViolation(EIIError):
+    """Raised (or logged) when a data service agreement obligation fails."""
+
+
+class ProcessError(EIIError):
+    """Raised by the EAI process engine when a saga cannot complete."""
+
+
+class AdmissionError(EIIError):
+    """Raised when a query's predicted cost exceeds the admission budget.
+
+    Carries `predicted_seconds` so callers can surface the expected
+    performance to the user (the feedback loop Draper's §5 asks for).
+    """
+
+    def __init__(self, message, predicted_seconds=None):
+        self.predicted_seconds = predicted_seconds
+        super().__init__(message)

@@ -1,0 +1,37 @@
+"""Record correlation across sources with no shared join key.
+
+Draper §5: "if the data sources are really heterogeneous, the probability
+that they have a reliable join key is pretty small. Our system worked by
+creating and storing what was essentially a join index between the
+sources." This package provides the string-similarity toolbox, a blocking
+stage to avoid O(n*m) comparisons, a `RecordLinker` that scores candidate
+pairs, and the persistent `JoinIndex` the federated layer can probe.
+"""
+
+from repro.correlation.similarity import (
+    jaccard_tokens,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein,
+    soundex,
+)
+from repro.correlation.linker import (
+    FieldRule,
+    JoinIndex,
+    LinkerConfig,
+    MatchResult,
+    RecordLinker,
+)
+
+__all__ = [
+    "FieldRule",
+    "JoinIndex",
+    "LinkerConfig",
+    "MatchResult",
+    "RecordLinker",
+    "jaccard_tokens",
+    "jaro_winkler",
+    "levenshtein",
+    "normalized_levenshtein",
+    "soundex",
+]

@@ -1,0 +1,222 @@
+"""Record linkage: blocking, scoring, and the persistent join index."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import EIIError
+from repro.common.relation import Relation
+from repro.correlation.similarity import (
+    jaccard_tokens,
+    jaro_winkler,
+    normalized_levenshtein,
+    soundex,
+)
+
+_MEASURES: dict[str, Callable] = {
+    "jaro_winkler": jaro_winkler,
+    "levenshtein": normalized_levenshtein,
+    "jaccard": jaccard_tokens,
+    "exact": lambda a, b: 1.0 if a == b else 0.0,
+}
+
+
+@dataclass(frozen=True)
+class FieldRule:
+    """Compare `left_field` against `right_field` with a weighted measure."""
+
+    left_field: str
+    right_field: str
+    measure: str = "jaro_winkler"
+    weight: float = 1.0
+
+    def score(self, left_value, right_value) -> Optional[float]:
+        """Similarity in [0,1], or None when either side is missing."""
+        if left_value is None or right_value is None:
+            return None
+        fn = _MEASURES.get(self.measure)
+        if fn is None:
+            raise EIIError(f"unknown similarity measure {self.measure!r}")
+        return fn(str(left_value), str(right_value))
+
+
+@dataclass
+class LinkerConfig:
+    """Linkage configuration.
+
+    `blocking_field` pairs records whose blocking keys collide (soundex of
+    the field by default), avoiding the quadratic all-pairs comparison;
+    None disables blocking. `threshold` is the accept score.
+    """
+
+    rules: Sequence[FieldRule] = ()
+    threshold: float = 0.85
+    blocking_field: Optional[tuple] = None  # (left_field, right_field)
+    blocking_key: Callable = staticmethod(lambda value: soundex(str(value)))
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    left_key: object
+    right_key: object
+    score: float
+
+
+class RecordLinker:
+    """Scores candidate pairs between two relations and emits matches."""
+
+    def __init__(self, config: LinkerConfig):
+        if not config.rules:
+            raise EIIError("linker needs at least one field rule")
+        self.config = config
+        self.comparisons = 0  # pairs actually scored (blocking effectiveness)
+
+    def link(
+        self,
+        left: Relation,
+        right: Relation,
+        left_key: str,
+        right_key: str,
+    ) -> list[MatchResult]:
+        """All pairs scoring >= threshold, best-score-first."""
+        self.comparisons = 0
+        left_key_pos = left.schema.index_of(left_key)
+        right_key_pos = right.schema.index_of(right_key)
+        rule_positions = [
+            (
+                rule,
+                left.schema.index_of(rule.left_field),
+                right.schema.index_of(rule.right_field),
+            )
+            for rule in self.config.rules
+        ]
+
+        matches: list[MatchResult] = []
+        for left_row, right_row in self._candidates(left, right):
+            self.comparisons += 1
+            score = self._score(left_row, right_row, rule_positions)
+            if score is not None and score >= self.config.threshold:
+                matches.append(
+                    MatchResult(left_row[left_key_pos], right_row[right_key_pos], score)
+                )
+        matches.sort(key=lambda m: (-m.score, str(m.left_key), str(m.right_key)))
+        return matches
+
+    def _candidates(self, left: Relation, right: Relation):
+        blocking = self.config.blocking_field
+        if blocking is None:
+            for left_row in left.rows:
+                for right_row in right.rows:
+                    yield left_row, right_row
+            return
+        left_field, right_field = blocking
+        left_pos = left.schema.index_of(left_field)
+        right_pos = right.schema.index_of(right_field)
+        key_fn = self.config.blocking_key
+        buckets: dict = {}
+        for right_row in right.rows:
+            value = right_row[right_pos]
+            if value is None:
+                continue
+            buckets.setdefault(key_fn(value), []).append(right_row)
+        for left_row in left.rows:
+            value = left_row[left_pos]
+            if value is None:
+                continue
+            for right_row in buckets.get(key_fn(value), ()):
+                yield left_row, right_row
+
+    def _score(self, left_row, right_row, rule_positions) -> Optional[float]:
+        total = 0.0
+        weight_sum = 0.0
+        for rule, left_pos, right_pos in rule_positions:
+            similarity = rule.score(left_row[left_pos], right_row[right_pos])
+            if similarity is None:
+                continue
+            total += similarity * rule.weight
+            weight_sum += rule.weight
+        if weight_sum == 0.0:
+            return None
+        return total / weight_sum
+
+
+class JoinIndex:
+    """A stored correlation between two keyed record sets.
+
+    Built once by a `RecordLinker` (or loaded from pairs), then probed at
+    join time in O(1) — Nimble's "join index between the sources".
+    """
+
+    def __init__(self, name: str = "join_index"):
+        self.name = name
+        self._left_to_right: dict = {}
+        self._right_to_left: dict = {}
+        self.scores: dict = {}
+
+    def add(self, left_key, right_key, score: float = 1.0) -> None:
+        self._left_to_right.setdefault(left_key, set()).add(right_key)
+        self._right_to_left.setdefault(right_key, set()).add(left_key)
+        self.scores[(left_key, right_key)] = score
+
+    @classmethod
+    def build(
+        cls,
+        linker: RecordLinker,
+        left: Relation,
+        right: Relation,
+        left_key: str,
+        right_key: str,
+        name: str = "join_index",
+    ) -> "JoinIndex":
+        index = cls(name)
+        for match in linker.link(left, right, left_key, right_key):
+            index.add(match.left_key, match.right_key, match.score)
+        return index
+
+    def rights_for(self, left_key) -> set:
+        return set(self._left_to_right.get(left_key, ()))
+
+    def lefts_for(self, right_key) -> set:
+        return set(self._right_to_left.get(right_key, ()))
+
+    def pairs(self) -> list[tuple]:
+        return sorted(self.scores, key=lambda pair: (str(pair[0]), str(pair[1])))
+
+    def __len__(self):
+        return len(self.scores)
+
+    def join(
+        self,
+        left: Relation,
+        right: Relation,
+        left_key: str,
+        right_key: str,
+    ) -> Relation:
+        """Inner join the two relations through the stored correlation."""
+        left_pos = left.schema.index_of(left_key)
+        right_pos = right.schema.index_of(right_key)
+        by_right_key: dict = {}
+        for row in right.rows:
+            by_right_key.setdefault(row[right_pos], []).append(row)
+        out: list[tuple] = []
+        for row in left.rows:
+            for right_key_value in self._left_to_right.get(row[left_pos], ()):
+                for other in by_right_key.get(right_key_value, ()):
+                    out.append(row + other)
+        return Relation(left.schema.concat(right.schema), out)
+
+    def quality(self, truth: set) -> dict:
+        """Precision/recall/F1 against a ground-truth set of key pairs."""
+        predicted = set(self.scores)
+        if not predicted:
+            precision = 1.0 if not truth else 0.0
+        else:
+            precision = len(predicted & truth) / len(predicted)
+        recall = 1.0 if not truth else len(predicted & truth) / len(truth)
+        f1 = (
+            0.0
+            if precision + recall == 0
+            else 2 * precision * recall / (precision + recall)
+        )
+        return {"precision": precision, "recall": recall, "f1": f1}

@@ -1,0 +1,119 @@
+"""String similarity measures used by the record linker."""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Edit distance (insert/delete/substitute, unit costs)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a: str, b: str) -> float:
+    """1 - distance/max_len: similarity in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+
+
+def jaro(a: str, b: str) -> float:
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    len_a, len_b = len(a), len(b)
+    if not len_a or not len_b:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    matched_a = [False] * len_a
+    matched_b = [False] * len_b
+    matches = 0
+    for i, ch in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and b[j] == ch:
+                matched_a[i] = True
+                matched_b[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i in range(len_a):
+        if matched_a[i]:
+            while not matched_b[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+    return (
+        matches / len_a + matches / len_b + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler: Jaro boosted by a shared prefix of up to 4 chars."""
+    base = jaro(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:4], b[:4]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return base + prefix * prefix_scale * (1.0 - base)
+
+
+def jaccard_tokens(a: str, b: str) -> float:
+    """Jaccard similarity of whitespace-token sets (case-insensitive)."""
+    tokens_a = set(a.lower().split())
+    tokens_b = set(b.lower().split())
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)
+
+
+_SOUNDEX_CODES = {
+    **dict.fromkeys("bfpv", "1"),
+    **dict.fromkeys("cgjkqsxz", "2"),
+    **dict.fromkeys("dt", "3"),
+    "l": "4",
+    **dict.fromkeys("mn", "5"),
+    "r": "6",
+}
+
+
+def soundex(word: str) -> str:
+    """American Soundex code (e.g. 'Robert' -> 'R163')."""
+    cleaned = [ch for ch in word.lower() if ch.isalpha()]
+    if not cleaned:
+        return "0000"
+    first = cleaned[0]
+    codes = []
+    previous = _SOUNDEX_CODES.get(first, "")
+    for ch in cleaned[1:]:
+        code = _SOUNDEX_CODES.get(ch, "")
+        if code and code != previous:
+            codes.append(code)
+        if ch not in "hw":  # h/w do not reset the previous code
+            previous = code
+    return (first.upper() + "".join(codes) + "000")[:4]

@@ -1,0 +1,27 @@
+"""EAI: message brokering and business-process (saga) execution.
+
+Carey's §4 argument: EII handles the read side; updates like "insert
+employee into company" are *business processes* — long-running,
+non-transactional, requiring "compensation capabilities in the event of a
+transaction step failure". This package supplies that other half:
+a topic-based `MessageBroker` and a `ProcessEngine` that runs
+`ProcessDefinition`s with reverse-order compensation on failure, so the
+E8 experiment can compare hand-written EAI plans against EII views.
+"""
+
+from repro.eai.broker import Message, MessageBroker
+from repro.eai.process import (
+    ProcessDefinition,
+    ProcessEngine,
+    ProcessResult,
+    Step,
+)
+
+__all__ = [
+    "Message",
+    "MessageBroker",
+    "ProcessDefinition",
+    "ProcessEngine",
+    "ProcessResult",
+    "Step",
+]

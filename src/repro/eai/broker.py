@@ -1,0 +1,47 @@
+"""A minimal topic-based message broker (synchronous delivery)."""
+
+from __future__ import annotations
+
+import fnmatch
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Message:
+    """One published message: a topic plus a payload dict."""
+
+    topic: str
+    payload: dict
+    sequence: int
+
+
+class MessageBroker:
+    """Publish/subscribe hub for application integration events.
+
+    Subscriptions match topics with `fnmatch` wildcards
+    (`"employee.*"` receives `"employee.created"`). Delivery is synchronous
+    and in subscription order; handler exceptions propagate to the
+    publisher (the process engine treats them as step failures). All
+    traffic is kept in `log` for auditing and tests.
+    """
+
+    def __init__(self):
+        self._subscriptions: list[tuple[str, Callable[[Message], None]]] = []
+        self._sequence = itertools.count(1)
+        self.log: list[Message] = []
+
+    def subscribe(self, pattern: str, handler: Callable[[Message], None]) -> None:
+        self._subscriptions.append((pattern, handler))
+
+    def publish(self, topic: str, payload: dict) -> Message:
+        message = Message(topic, dict(payload), next(self._sequence))
+        self.log.append(message)
+        for pattern, handler in self._subscriptions:
+            if fnmatch.fnmatch(topic, pattern):
+                handler(message)
+        return message
+
+    def messages_on(self, pattern: str) -> list[Message]:
+        return [m for m in self.log if fnmatch.fnmatch(m.topic, pattern)]

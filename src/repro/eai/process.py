@@ -1,0 +1,123 @@
+"""Business processes as sagas: forward steps, reverse compensation."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import ProcessError
+from repro.eai.broker import MessageBroker
+
+
+@dataclass
+class Step:
+    """One saga step.
+
+    `action(context)` performs the work (updating a source, provisioning
+    a resource, calling a service) and may return a value stored in the
+    context under the step's name. `compensate(context)` undoes it if a
+    later step fails. `condition` makes the step conditional (Carey's
+    branching business processes). `duration_s` is the simulated duration
+    — "insert employee" style processes run for hours or days, which the
+    engine models without sleeping.
+    """
+
+    name: str
+    action: Callable[[dict], object]
+    compensate: Optional[Callable[[dict], None]] = None
+    condition: Optional[Callable[[dict], bool]] = None
+    duration_s: float = 0.0
+
+
+@dataclass
+class ProcessDefinition:
+    """A named, ordered saga."""
+
+    name: str
+    steps: Sequence[Step]
+
+
+@dataclass
+class ProcessResult:
+    process: str
+    status: str  # "completed" | "compensated" | "compensation_failed"
+    executed: list = field(default_factory=list)
+    compensated: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+    error: Optional[str] = None
+    simulated_seconds: float = 0.0
+    context: dict = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.status == "completed"
+
+
+class ProcessEngine:
+    """Runs process definitions with saga-style compensation.
+
+    On a step failure, compensations of all previously completed steps run
+    in reverse order; the process result records exactly what happened.
+    Lifecycle events are published to the broker under
+    `process.<name>.<event>` so other systems can react (the EAI way of
+    keeping applications in sync).
+    """
+
+    def __init__(self, broker: Optional[MessageBroker] = None):
+        self.broker = broker or MessageBroker()
+        self.history: list[ProcessResult] = []
+
+    def run(self, definition: ProcessDefinition, context: Optional[dict] = None) -> ProcessResult:
+        context = dict(context or {})
+        result = ProcessResult(definition.name, "completed", context=context)
+        self.broker.publish(f"process.{definition.name}.started", {"context": dict(context)})
+        completed: list[Step] = []
+        try:
+            for step in definition.steps:
+                if step.condition is not None and not step.condition(context):
+                    result.skipped.append(step.name)
+                    continue
+                value = step.action(context)
+                context[step.name] = value
+                result.executed.append(step.name)
+                result.simulated_seconds += step.duration_s
+                completed.append(step)
+                self.broker.publish(
+                    f"process.{definition.name}.step",
+                    {"step": step.name, "status": "ok"},
+                )
+        except Exception as exc:  # noqa: BLE001 - any step failure triggers the saga
+            result.error = f"{type(exc).__name__}: {exc}"
+            result.status = "compensated"
+            self.broker.publish(
+                f"process.{definition.name}.failed",
+                {"error": result.error, "at_step": len(result.executed)},
+            )
+            for step in reversed(completed):
+                if step.compensate is None:
+                    continue
+                try:
+                    step.compensate(context)
+                    result.compensated.append(step.name)
+                except Exception as comp_exc:  # noqa: BLE001
+                    result.status = "compensation_failed"
+                    result.error += f"; compensation of {step.name!r} failed: {comp_exc}"
+                    break
+        if result.status == "completed":
+            self.broker.publish(
+                f"process.{definition.name}.completed", {"steps": list(result.executed)}
+            )
+        else:
+            self.broker.publish(
+                f"process.{definition.name}.compensated",
+                {"steps": list(result.compensated)},
+            )
+        self.history.append(result)
+        return result
+
+    def run_or_raise(self, definition: ProcessDefinition, context: Optional[dict] = None) -> ProcessResult:
+        result = self.run(definition, context)
+        if not result.succeeded:
+            raise ProcessError(f"process {definition.name!r} failed: {result.error}")
+        return result

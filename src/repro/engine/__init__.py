@@ -1,0 +1,46 @@
+"""Cost-based local query engine.
+
+The engine turns a parsed `Select` into a logical plan (`repro.engine.logical`),
+improves it with rewrite rules and cost-based join ordering
+(`repro.engine.rewrite`, `repro.engine.joinorder`, `repro.engine.cost`), lowers
+it to physical operators (`repro.engine.physical`) and executes it against a
+`repro.storage.Database`.
+
+The same logical algebra is reused by the federation layer: component plans
+pushed to relational sources execute on each source's own `LocalEngine`,
+which is exactly the "push work down to mature database servers" design the
+panel's §3 (Bitton) prescribes.
+"""
+
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.engine.planner import bind_select
+from repro.engine.executor import LocalEngine
+from repro.engine.cost import CostModel, PlanCost
+
+__all__ = [
+    "CostModel",
+    "LocalEngine",
+    "LogicalAggregate",
+    "LogicalDistinct",
+    "LogicalFilter",
+    "LogicalJoin",
+    "LogicalLimit",
+    "LogicalPlan",
+    "LogicalProject",
+    "LogicalScan",
+    "LogicalSort",
+    "LogicalUnion",
+    "PlanCost",
+    "bind_select",
+]

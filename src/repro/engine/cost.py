@@ -1,0 +1,328 @@
+"""Cardinality estimation and the cost model.
+
+The estimator walks a logical plan bottom-up, carrying per-column statistics
+keyed by `(qualifier, name)` so that filter and join selectivities can use
+real distinct counts and histograms collected by the storage layer. The
+cost unit is "one row touched"; operators add their classical multipliers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalAlias,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.exprutil import equi_join_sides, split_conjuncts
+from repro.storage.stats import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_LIKE_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    ColumnStats,
+    TableStats,
+)
+
+DEFAULT_NDV = 10.0
+
+
+@dataclass
+class PlanCost:
+    """Estimated output rows and cumulative cost of a (sub)plan."""
+
+    rows: float
+    cost: float
+    column_stats: dict = field(default_factory=dict)  # (qual?, name) lower -> ColumnStats
+
+    def stat_for(self, ref: ColumnRef) -> Optional[ColumnStats]:
+        key = ((ref.qualifier or "").lower(), ref.name.lower())
+        direct = self.column_stats.get(key)
+        if direct is not None:
+            return direct
+        if ref.qualifier is None:
+            # Fall back to a unique unqualified match.
+            matches = [
+                stats
+                for (_, name), stats in self.column_stats.items()
+                if name == ref.name.lower()
+            ]
+            if len(matches) == 1:
+                return matches[0]
+        return None
+
+
+class CostModel:
+    """Estimate cardinalities and costs given a statistics provider.
+
+    `stats_provider` is duck-typed: anything with
+    `table_stats(table_name) -> TableStats`. When statistics are missing the
+    model degrades to textbook default selectivities.
+    """
+
+    SORT_FACTOR = 0.2
+    HASH_BUILD_FACTOR = 1.5
+    AGG_FACTOR = 1.2
+
+    def __init__(self, stats_provider=None):
+        self.stats_provider = stats_provider
+
+    # -- public ------------------------------------------------------------------
+
+    def estimate(self, plan: LogicalPlan) -> PlanCost:
+        if isinstance(plan, LogicalScan):
+            return self._scan(plan)
+        if isinstance(plan, LogicalFilter):
+            return self._filter(plan)
+        if isinstance(plan, LogicalProject):
+            child = self.estimate(plan.child)
+            # Projection renames columns; remap stats for bare column items.
+            out_stats = {}
+            for item, column in zip(plan.items, plan.schema):
+                if isinstance(item.expr, ColumnRef):
+                    stat = child.stat_for(item.expr)
+                    if stat is not None:
+                        out_stats[
+                            ((column.qualifier or "").lower(), column.name.lower())
+                        ] = stat
+            return PlanCost(child.rows, child.cost + child.rows * 0.1, out_stats)
+        if isinstance(plan, LogicalJoin):
+            return self._join(plan)
+        if isinstance(plan, LogicalAggregate):
+            return self._aggregate(plan)
+        if isinstance(plan, LogicalSort):
+            child = self.estimate(plan.child)
+            extra = child.rows * math.log2(child.rows + 2) * self.SORT_FACTOR
+            return PlanCost(child.rows, child.cost + extra, child.column_stats)
+        if isinstance(plan, LogicalLimit):
+            child = self.estimate(plan.child)
+            return PlanCost(
+                min(child.rows, plan.limit), child.cost, child.column_stats
+            )
+        if isinstance(plan, LogicalDistinct):
+            child = self.estimate(plan.child)
+            rows = max(child.rows * 0.5, 1.0)
+            return PlanCost(rows, child.cost + child.rows, child.column_stats)
+        if isinstance(plan, LogicalAlias):
+            child = self.estimate(plan.child)
+            remapped = {
+                (plan.binding.lower(), name): stat
+                for (_, name), stat in child.column_stats.items()
+            }
+            return PlanCost(child.rows, child.cost, remapped)
+        if isinstance(plan, LogicalUnion):
+            parts = [self.estimate(child) for child in plan.inputs]
+            return PlanCost(
+                sum(part.rows for part in parts),
+                sum(part.cost for part in parts),
+                parts[0].column_stats if parts else {},
+            )
+        # Unknown nodes (e.g. federation extensions estimate themselves).
+        estimator = getattr(plan, "estimate_cost", None)
+        if estimator is not None:
+            return estimator(self)
+        children = [self.estimate(child) for child in plan.children]
+        rows = max((part.rows for part in children), default=1.0)
+        cost = sum(part.cost for part in children) + rows
+        return PlanCost(rows, cost)
+
+    def selectivity(self, expr: Expr, context: PlanCost) -> float:
+        """Estimated selectivity of one predicate conjunct."""
+        if isinstance(expr, Literal):
+            if expr.value is True:
+                return 1.0
+            return 0.0 if expr.value in (False, None) else 1.0
+        if isinstance(expr, BinaryOp):
+            if expr.op == "AND":
+                return self.selectivity(expr.left, context) * self.selectivity(
+                    expr.right, context
+                )
+            if expr.op == "OR":
+                left = self.selectivity(expr.left, context)
+                right = self.selectivity(expr.right, context)
+                return min(left + right - left * right, 1.0)
+            if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+                return self._comparison_selectivity(expr, context)
+        if isinstance(expr, UnaryOp) and expr.op == "NOT":
+            return max(1.0 - self.selectivity(expr.operand, context), 0.0)
+        if isinstance(expr, IsNull):
+            stat = (
+                context.stat_for(expr.operand)
+                if isinstance(expr.operand, ColumnRef)
+                else None
+            )
+            fraction = stat.null_fraction if stat is not None else 0.05
+            return (1.0 - fraction) if expr.negated else fraction
+        if isinstance(expr, InList):
+            base = self._eq_selectivity_of(expr.operand, None, context)
+            sel = min(base * len(expr.items), 1.0)
+            return (1.0 - sel) if expr.negated else sel
+        if isinstance(expr, Like):
+            sel = DEFAULT_LIKE_SELECTIVITY
+            return (1.0 - sel) if expr.negated else sel
+        if isinstance(expr, Between):
+            sel = DEFAULT_RANGE_SELECTIVITY
+            if isinstance(expr.operand, ColumnRef):
+                stat = context.stat_for(expr.operand)
+                if stat is not None:
+                    low = _literal_value(expr.low)
+                    high = _literal_value(expr.high)
+                    if low is not None and high is not None:
+                        sel = max(
+                            stat.range_selectivity("<=", high)
+                            - stat.range_selectivity("<", low),
+                            0.0,
+                        )
+            return (1.0 - sel) if expr.negated else sel
+        return DEFAULT_RANGE_SELECTIVITY
+
+    # -- node estimators -----------------------------------------------------------
+
+    def _scan(self, plan: LogicalScan) -> PlanCost:
+        stats = self._table_stats(plan.table_name)
+        if stats is None:
+            return PlanCost(1000.0, 1000.0)
+        column_stats = {
+            (plan.binding.lower(), name): stat for name, stat in stats.columns.items()
+        }
+        return PlanCost(float(stats.row_count), float(stats.row_count), column_stats)
+
+    def _filter(self, plan: LogicalFilter) -> PlanCost:
+        child = self.estimate(plan.child)
+        selectivity = 1.0
+        for conjunct in split_conjuncts(plan.predicate):
+            selectivity *= self.selectivity(conjunct, child)
+        rows = max(child.rows * selectivity, 0.0)
+        return PlanCost(rows, child.cost + child.rows * 0.2, child.column_stats)
+
+    def _join(self, plan: LogicalJoin) -> PlanCost:
+        left = self.estimate(plan.left)
+        right = self.estimate(plan.right)
+        merged_stats = {**left.column_stats, **right.column_stats}
+        combined = PlanCost(0, 0, merged_stats)
+        selectivity = 1.0
+        if plan.condition is None:
+            rows = left.rows * right.rows
+        else:
+            rows = left.rows * right.rows
+            for conjunct in split_conjuncts(plan.condition):
+                sides = equi_join_sides(conjunct)
+                if sides is not None:
+                    left_ndv = self._ndv(sides[0], combined)
+                    right_ndv = self._ndv(sides[1], combined)
+                    rows /= max(left_ndv, right_ndv, 1.0)
+                else:
+                    rows *= self.selectivity(conjunct, combined)
+                    selectivity *= 1  # non-equi handled multiplicatively above
+        if plan.kind == "LEFT":
+            rows = max(rows, left.rows)
+        cost = (
+            left.cost
+            + right.cost
+            + left.rows
+            + right.rows * self.HASH_BUILD_FACTOR
+        )
+        return PlanCost(max(rows, 0.0), cost, merged_stats)
+
+    def _aggregate(self, plan: LogicalAggregate) -> PlanCost:
+        child = self.estimate(plan.child)
+        if not plan.group_exprs:
+            rows = 1.0
+        else:
+            groups = 1.0
+            for expr in plan.group_exprs:
+                if isinstance(expr, ColumnRef):
+                    groups *= self._ndv(expr, child)
+                else:
+                    groups *= DEFAULT_NDV
+            rows = min(groups, max(child.rows, 1.0))
+        cost = child.cost + child.rows * self.AGG_FACTOR
+        # Aggregate output columns: group columns inherit their source stats.
+        out_stats = {}
+        for expr, name in zip(plan.group_exprs, plan.group_names):
+            if isinstance(expr, ColumnRef):
+                stat = child.stat_for(expr)
+                if stat is not None:
+                    out_stats[("", name.lower())] = stat
+        return PlanCost(rows, cost, out_stats)
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _table_stats(self, table_name: str) -> Optional[TableStats]:
+        if self.stats_provider is None:
+            return None
+        getter = getattr(self.stats_provider, "table_stats", None)
+        if getter is None:
+            getter = self.stats_provider.stats_for
+        try:
+            return getter(table_name)
+        except Exception:
+            return None
+
+    def _ndv(self, ref: ColumnRef, context: PlanCost) -> float:
+        stat = context.stat_for(ref)
+        return float(stat.distinct) if stat is not None else DEFAULT_NDV
+
+    def _comparison_selectivity(self, expr: BinaryOp, context: PlanCost) -> float:
+        column, value, op = _normalize_comparison(expr)
+        if column is None:
+            if equi_join_sides(expr) is not None:
+                left_ndv = self._ndv(expr.left, context)
+                right_ndv = self._ndv(expr.right, context)
+                return 1.0 / max(left_ndv, right_ndv, 1.0)
+            return DEFAULT_RANGE_SELECTIVITY
+        stat = context.stat_for(column)
+        if op == "=":
+            if stat is not None:
+                return stat.eq_selectivity(value)
+            return DEFAULT_EQ_SELECTIVITY
+        if op == "<>":
+            base = stat.eq_selectivity(value) if stat is not None else DEFAULT_EQ_SELECTIVITY
+            return max(1.0 - base, 0.0)
+        if stat is not None and value is not None:
+            return stat.range_selectivity(op, value)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _eq_selectivity_of(self, operand: Expr, value, context: PlanCost) -> float:
+        if isinstance(operand, ColumnRef):
+            stat = context.stat_for(operand)
+            if stat is not None:
+                return stat.eq_selectivity(value)
+        return DEFAULT_EQ_SELECTIVITY
+
+
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}
+
+
+def _normalize_comparison(expr: BinaryOp):
+    """Return (column, literal_value, op) with the column on the left."""
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        return expr.left, expr.right.value, expr.op
+    if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        return expr.right, expr.left.value, _MIRROR[expr.op]
+    return None, None, expr.op
+
+
+def _literal_value(expr: Expr):
+    return expr.value if isinstance(expr, Literal) else None

@@ -1,0 +1,343 @@
+"""The local engine: parse → bind → optimize → lower → execute.
+
+`LocalEngine` is the per-source query processor. Every `RelationalSource` in
+the federation runs one, which is how the system realizes the panel's advice
+(Bitton, §3) to push component queries down to "mature database servers"
+rather than re-implementing their work at the mediator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.common.errors import PlanError
+from repro.common.relation import Relation
+from repro.engine.cost import CostModel
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalAlias,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.engine.physical import (
+    DistinctOp,
+    FilterOp,
+    HashAggregateOp,
+    HashJoinOp,
+    IndexEqScan,
+    IndexRangeScan,
+    LimitOp,
+    NestedLoopJoinOp,
+    PhysicalOp,
+    ProjectOp,
+    RelabelOp,
+    SeqScan,
+    SortOp,
+    UnionAllOp,
+)
+from repro.engine.planner import DatabaseResolver, bind_select
+from repro.engine.rewrite import optimize_logical
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Delete,
+    Expr,
+    Insert,
+    Literal,
+    Select,
+    Star,
+    UnionSelect,
+    Update,
+)
+from repro.sql.eval import compile_expr, compile_predicate
+from repro.sql.exprutil import conjoin, equi_join_sides, split_conjuncts
+from repro.sql.parser import parse
+
+
+class LocalEngine:
+    """Cost-based SQL engine over one `repro.storage.Database`."""
+
+    def __init__(self, db, optimize: bool = True):
+        self.db = db
+        self.optimize = optimize
+        self.resolver = DatabaseResolver(db)
+        self.cost_model = CostModel(_StatsAdapter(db))
+
+    # -- public API ---------------------------------------------------------------
+
+    def query(self, query: Union[str, Select, LogicalPlan]) -> Relation:
+        """Run a SELECT (text, AST or logical plan) and return its result."""
+        physical = self.physical_plan(query)
+        return physical.relation()
+
+    def explain(self, query: Union[str, Select, LogicalPlan]) -> str:
+        """EXPLAIN: the optimized logical plan and the physical operator tree."""
+        logical = self.logical_plan(query)
+        physical = self.lower(logical)
+        estimate = self.cost_model.estimate(logical)
+        header = f"estimated rows={estimate.rows:.0f} cost={estimate.cost:.0f}"
+        return "\n".join([header, logical.pretty(), physical.explain()])
+
+    def execute(self, statement: Union[str, Insert, Update, Delete]) -> int:
+        """Run a DML statement, returning the affected-row count."""
+        if isinstance(statement, str):
+            statement = parse(statement)
+        if isinstance(statement, Insert):
+            return self._insert(statement)
+        if isinstance(statement, Update):
+            return self._update(statement)
+        if isinstance(statement, Delete):
+            return self._delete(statement)
+        raise PlanError(f"execute() cannot run {type(statement).__name__}")
+
+    def logical_plan(self, query: Union[str, Select, LogicalPlan]) -> LogicalPlan:
+        if isinstance(query, str):
+            statement = parse(query)
+            if not isinstance(statement, (Select, UnionSelect)):
+                raise PlanError("query() only runs SELECT; use execute() for DML")
+            query = statement
+        if isinstance(query, (Select, UnionSelect)):
+            query = bind_select(query, self.resolver)
+        if self.optimize:
+            query = optimize_logical(query, self.cost_model)
+        return query
+
+    def physical_plan(self, query: Union[str, Select, LogicalPlan]) -> PhysicalOp:
+        return self.lower(self.logical_plan(query))
+
+    # -- DML ----------------------------------------------------------------------
+
+    def _insert(self, statement: Insert) -> int:
+        table = self.db.table(statement.table)
+        count = 0
+        for row_exprs in statement.rows:
+            values = [_const(expr) for expr in row_exprs]
+            if statement.columns:
+                table.insert_dict(dict(zip(statement.columns, values)))
+            else:
+                table.insert(values)
+            count += 1
+        return count
+
+    def _update(self, statement: Update) -> int:
+        table = self.db.table(statement.table)
+        schema = table.schema
+        predicate = (
+            compile_predicate(statement.where, schema)
+            if statement.where is not None
+            else (lambda row: True)
+        )
+        assignment_fns = [
+            (schema.index_of(name), compile_expr(value, schema))
+            for name, value in statement.assignments
+        ]
+
+        def updater(row):
+            new_row = list(row)
+            for position, fn in assignment_fns:
+                new_row[position] = fn(row)
+            return new_row
+
+        return table.update_where(predicate, updater)
+
+    def _delete(self, statement: Delete) -> int:
+        table = self.db.table(statement.table)
+        predicate = (
+            compile_predicate(statement.where, table.schema)
+            if statement.where is not None
+            else (lambda row: True)
+        )
+        return table.delete_where(predicate)
+
+    # -- lowering --------------------------------------------------------------------
+
+    def lower(self, plan: LogicalPlan) -> PhysicalOp:
+        if isinstance(plan, LogicalScan):
+            return SeqScan(self.db.table(plan.table_name), plan.binding)
+
+        if isinstance(plan, LogicalFilter):
+            return self._lower_filter(plan)
+
+        if isinstance(plan, LogicalProject):
+            child = self.lower(plan.child)
+            fns = [compile_expr(item.expr, child.schema) for item in plan.items]
+            description = ", ".join(str(item) for item in plan.items)
+            return ProjectOp(child, fns, plan.schema, description)
+
+        if isinstance(plan, LogicalJoin):
+            return self._lower_join(plan)
+
+        if isinstance(plan, LogicalAggregate):
+            child = self.lower(plan.child)
+            group_fns = [compile_expr(expr, child.schema) for expr in plan.group_exprs]
+            agg_specs = []
+            for call in plan.aggregates:
+                if len(call.args) == 1 and isinstance(call.args[0], Star):
+                    agg_specs.append((call.name, call.distinct, None))
+                elif len(call.args) == 1:
+                    agg_specs.append(
+                        (call.name, call.distinct, compile_expr(call.args[0], child.schema))
+                    )
+                else:
+                    raise PlanError(f"aggregate {call.name} takes exactly one argument")
+            return HashAggregateOp(child, group_fns, agg_specs, plan.schema, plan.label())
+
+        if isinstance(plan, LogicalSort):
+            child = self.lower(plan.child)
+            key_fns = [
+                compile_expr(item.expr, child.schema) for item in plan.order_items
+            ]
+            ascendings = [item.ascending for item in plan.order_items]
+            description = ", ".join(str(item) for item in plan.order_items)
+            return SortOp(child, key_fns, ascendings, description)
+
+        if isinstance(plan, LogicalLimit):
+            return LimitOp(self.lower(plan.child), plan.limit)
+
+        if isinstance(plan, LogicalDistinct):
+            return DistinctOp(self.lower(plan.child))
+
+        if isinstance(plan, LogicalUnion):
+            return UnionAllOp([self.lower(child) for child in plan.inputs])
+
+        if isinstance(plan, LogicalAlias):
+            return RelabelOp(self.lower(plan.child), plan.schema, plan.label())
+
+        # Extension nodes (federation) lower themselves.
+        lowerer = getattr(plan, "lower_physical", None)
+        if lowerer is not None:
+            return lowerer(self)
+        raise PlanError(f"cannot lower {type(plan).__name__}")
+
+    def _lower_filter(self, plan: LogicalFilter) -> PhysicalOp:
+        """Lower Filter(Scan) through an index when one matches a conjunct."""
+        if isinstance(plan.child, LogicalScan):
+            table = self.db.table(plan.child.table_name)
+            binding = plan.child.binding
+            conjuncts = split_conjuncts(plan.predicate)
+            chosen = self._choose_index_access(table, binding, conjuncts)
+            if chosen is not None:
+                access, remaining = chosen
+                if remaining:
+                    predicate = conjoin(remaining)
+                    fn = compile_predicate(predicate, access.schema)
+                    return FilterOp(access, fn, str(predicate))
+                return access
+        child = self.lower(plan.child)
+        fn = compile_predicate(plan.predicate, child.schema)
+        return FilterOp(child, fn, str(plan.predicate))
+
+    def _choose_index_access(self, table, binding, conjuncts):
+        """Pick an index-backed access path for one of the conjuncts."""
+        from repro.storage.index import HashIndex, SortedIndex
+
+        for i, conjunct in enumerate(conjuncts):
+            if not isinstance(conjunct, BinaryOp):
+                continue
+            column, value, op = _index_shape(conjunct, binding)
+            if column is None:
+                continue
+            index = table.index_on(column)
+            if index is None:
+                continue
+            remaining = conjuncts[:i] + conjuncts[i + 1 :]
+            if op == "=":
+                return IndexEqScan(table, binding, column, value), remaining
+            if isinstance(index, SortedIndex) and op in ("<", "<=", ">", ">="):
+                if op in ("<", "<="):
+                    access = IndexRangeScan(
+                        table, binding, column, high=value, include_high=op == "<="
+                    )
+                else:
+                    access = IndexRangeScan(
+                        table, binding, column, low=value, include_low=op == ">="
+                    )
+                return access, remaining
+        return None
+
+    def _lower_join(self, plan: LogicalJoin) -> PhysicalOp:
+        left = self.lower(plan.left)
+        right = self.lower(plan.right)
+        description = str(plan.condition) if plan.condition is not None else "cross"
+        if plan.condition is None:
+            return NestedLoopJoinOp(left, right, None, plan.kind, description)
+
+        left_positions: list[int] = []
+        right_positions: list[int] = []
+        residual: list[Expr] = []
+        for conjunct in split_conjuncts(plan.condition):
+            sides = equi_join_sides(conjunct)
+            placed = False
+            if sides is not None:
+                a, b = sides
+                for first, second in ((a, b), (b, a)):
+                    if plan.left.schema.has(first.name, first.qualifier) and \
+                            plan.right.schema.has(second.name, second.qualifier):
+                        left_positions.append(
+                            plan.left.schema.index_of(first.name, first.qualifier)
+                        )
+                        right_positions.append(
+                            plan.right.schema.index_of(second.name, second.qualifier)
+                        )
+                        placed = True
+                        break
+            if not placed:
+                residual.append(conjunct)
+
+        if left_positions:
+            residual_fn = None
+            if residual:
+                residual_fn = compile_predicate(conjoin(residual), plan.schema)
+            return HashJoinOp(
+                left,
+                right,
+                left_positions,
+                right_positions,
+                plan.kind,
+                residual_fn,
+                description,
+            )
+        condition_fn = compile_predicate(plan.condition, plan.schema)
+        return NestedLoopJoinOp(left, right, condition_fn, plan.kind, description)
+
+
+class _StatsAdapter:
+    """Expose Database.stats_for under the CostModel's protocol name."""
+
+    def __init__(self, db):
+        self.db = db
+
+    def table_stats(self, table_name: str):
+        return self.db.stats_for(table_name)
+
+
+def _const(expr: Expr):
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, BinaryOp) or isinstance(expr, ColumnRef):
+        raise PlanError("INSERT values must be literals")
+    raise PlanError(f"INSERT values must be literals, got {expr}")
+
+
+def _index_shape(conjunct: BinaryOp, binding: str):
+    """Match `col <op> literal` where col belongs to `binding`."""
+    mirror = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    if conjunct.op not in mirror:
+        return None, None, None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        column, value, op = left, right.value, conjunct.op
+    elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+        column, value, op = right, left.value, mirror[conjunct.op]
+    else:
+        return None, None, None
+    if column.qualifier is not None and column.qualifier.lower() != binding.lower():
+        return None, None, None
+    return column.name, value, op

@@ -1,0 +1,190 @@
+"""Cost-based join-order search.
+
+Contiguous trees of INNER joins are flattened into (inputs, predicates) and
+re-ordered: exhaustive dynamic programming over connected subsets for up to
+`DP_LIMIT` inputs, greedy smallest-intermediate-result beyond that. LEFT
+joins act as barriers — their subtrees are optimized independently but the
+outer join itself is never commuted.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from repro.engine.cost import CostModel, PlanCost
+from repro.engine.logical import LogicalFilter, LogicalJoin, LogicalPlan
+from repro.sql.ast import Expr
+from repro.sql.exprutil import (
+    column_refs,
+    conjoin,
+    referenced_qualifiers,
+    split_conjuncts,
+)
+
+DP_LIMIT = 8
+CROSS_JOIN_PENALTY = 1e6
+
+
+def reorder_joins(plan: LogicalPlan, cost_model: CostModel) -> LogicalPlan:
+    """Recursively reorder every maximal inner-join region of the plan."""
+    if isinstance(plan, LogicalJoin) and plan.kind == "INNER":
+        inputs, predicates = _flatten(plan)
+        inputs = [reorder_joins(node, cost_model) for node in inputs]
+        if len(inputs) <= 1:
+            return _wrap(inputs[0], predicates)
+        ordered = _search(inputs, predicates, cost_model)
+        return ordered
+    children = [reorder_joins(child, cost_model) for child in plan.children]
+    return plan.with_children(children) if children else plan
+
+
+def _flatten(plan: LogicalPlan):
+    """Flatten a maximal INNER-join tree into leaf inputs and predicates."""
+    inputs: list[LogicalPlan] = []
+    predicates: list[Expr] = []
+
+    def recurse(node: LogicalPlan):
+        if isinstance(node, LogicalJoin) and node.kind == "INNER":
+            recurse(node.left)
+            recurse(node.right)
+            if node.condition is not None:
+                predicates.extend(split_conjuncts(node.condition))
+        elif isinstance(node, LogicalFilter):
+            predicates.extend(split_conjuncts(node.predicate))
+            recurse(node.child)
+        else:
+            inputs.append(node)
+
+    recurse(plan)
+    return inputs, predicates
+
+
+def _qualifiers(plan: LogicalPlan) -> frozenset:
+    return frozenset((column.qualifier or "").lower() for column in plan.schema)
+
+
+def _predicate_applies(predicate: Expr, quals: frozenset, schemas) -> bool:
+    """True if every column the predicate references resolves in `schemas`."""
+    refs = column_refs(predicate)
+    for ref in refs:
+        if ref.qualifier is not None:
+            if ref.qualifier.lower() not in quals:
+                return False
+        else:
+            if not any(schema.has(ref.name) for schema in schemas):
+                return False
+    return True
+
+
+class _JoinState:
+    """A candidate sub-join during the search."""
+
+    __slots__ = ("plan", "mask", "cost")
+
+    def __init__(self, plan: LogicalPlan, mask: int, cost: PlanCost):
+        self.plan = plan
+        self.mask = mask
+        self.cost = cost
+
+
+def _search(inputs, predicates, cost_model: CostModel) -> LogicalPlan:
+    if len(inputs) <= DP_LIMIT:
+        return _dp(inputs, predicates, cost_model)
+    return _greedy(inputs, predicates, cost_model)
+
+
+def _join_candidates(left: _JoinState, right: _JoinState, predicates, used, cost_model):
+    """Build the join of two states, consuming every now-applicable predicate."""
+    quals = _qualifiers(left.plan) | _qualifiers(right.plan)
+    schemas = (left.plan.schema, right.plan.schema)
+    joined_schema_probe = left.plan.schema.concat(right.plan.schema)
+    applicable = []
+    for index, predicate in enumerate(predicates):
+        if index in used:
+            continue
+        if _predicate_applies(predicate, quals, (joined_schema_probe,)):
+            applicable.append(index)
+    condition = conjoin([predicates[i] for i in applicable])
+    plan = LogicalJoin(left.plan, right.plan, "INNER", condition)
+    cost = cost_model.estimate(plan)
+    penalty = CROSS_JOIN_PENALTY if condition is None else 0.0
+    total = PlanCost(cost.rows, cost.cost + penalty, cost.column_stats)
+    return plan, total, set(applicable)
+
+
+def _dp(inputs, predicates, cost_model: CostModel) -> LogicalPlan:
+    n = len(inputs)
+    best: dict[int, tuple] = {}  # mask -> (cost_value, plan, used_pred_indexes, est)
+    for i, node in enumerate(inputs):
+        est = cost_model.estimate(node)
+        best[1 << i] = (est.cost, node, frozenset(), est)
+
+    for size in range(2, n + 1):
+        for subset in combinations(range(n), size):
+            mask = 0
+            for i in subset:
+                mask |= 1 << i
+            candidates = []
+            # Split the subset into two non-empty halves already solved.
+            sub = (mask - 1) & mask
+            while sub:
+                other = mask ^ sub
+                if sub < other and sub in best and other in best:
+                    candidates.append((sub, other))
+                sub = (sub - 1) & mask
+            entry = None
+            for left_mask, right_mask in candidates:
+                left_cost, left_plan, left_used, left_est = best[left_mask]
+                right_cost, right_plan, right_used, right_est = best[right_mask]
+                used = left_used | right_used
+                for a, b in ((left_plan, right_plan), (right_plan, left_plan)):
+                    a_state = _JoinState(a, 0, left_est)
+                    b_state = _JoinState(b, 0, right_est)
+                    plan, cost, consumed = _join_candidates(
+                        a_state, b_state, predicates, used, cost_model
+                    )
+                    total = cost.cost
+                    if entry is None or total < entry[0]:
+                        entry = (total, plan, frozenset(used | consumed), cost)
+            if entry is not None:
+                best[mask] = entry
+
+    full = (1 << n) - 1
+    _, plan, used, _ = best[full]
+    leftover = [p for i, p in enumerate(predicates) if i not in used]
+    return _wrap(plan, leftover)
+
+
+def _greedy(inputs, predicates, cost_model: CostModel) -> LogicalPlan:
+    states = []
+    for node in inputs:
+        states.append(_JoinState(node, 0, cost_model.estimate(node)))
+    remaining = list(range(len(predicates)))
+    used: set[int] = set()
+
+    while len(states) > 1:
+        best_pair: Optional[tuple] = None
+        for i in range(len(states)):
+            for j in range(i + 1, len(states)):
+                plan, cost, consumed = _join_candidates(
+                    states[i], states[j], predicates, used, cost_model
+                )
+                key = (cost.rows, cost.cost)
+                if best_pair is None or key < best_pair[0]:
+                    best_pair = (key, i, j, plan, cost, consumed)
+        _, i, j, plan, cost, consumed = best_pair
+        used |= consumed
+        new_state = _JoinState(plan, 0, cost)
+        states = [s for k, s in enumerate(states) if k not in (i, j)]
+        states.append(new_state)
+
+    leftover = [p for i, p in enumerate(predicates) if i not in used]
+    return _wrap(states[0].plan, leftover)
+
+
+def _wrap(plan: LogicalPlan, predicates) -> LogicalPlan:
+    predicate = conjoin(predicates)
+    if predicate is None:
+        return plan
+    return LogicalFilter(plan, predicate)

@@ -1,0 +1,474 @@
+"""Physical operators.
+
+Operators materialize their output as a list of tuples via `run()`. Each
+carries its output schema and an `explain_label` for EXPLAIN trees. The
+executor (`repro.engine.executor`) lowers logical plans to these operators;
+the federation layer adds its own operators (bind joins, remote fetches)
+that follow the same protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.common.relation import Relation
+from repro.common.schema import RelSchema
+
+
+class PhysicalOp:
+    """Base physical operator: `schema`, `run() -> list[tuple]`, children."""
+
+    schema: RelSchema
+
+    @property
+    def children(self) -> tuple["PhysicalOp", ...]:
+        return ()
+
+    def run(self) -> list[tuple]:
+        raise NotImplementedError
+
+    def relation(self) -> Relation:
+        return Relation(self.schema, self.run())
+
+    def explain_label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.explain_label()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class SeqScan(PhysicalOp):
+    """Full scan of a storage table."""
+
+    def __init__(self, table, binding: str):
+        self.table = table
+        self.binding = binding
+        self.schema = table.schema.with_qualifier(binding)
+
+    def run(self):
+        return list(self.table.rows())
+
+    def explain_label(self):
+        return f"SeqScan({self.table.name} AS {self.binding})"
+
+
+class IndexEqScan(PhysicalOp):
+    """Point lookup through a hash or sorted index."""
+
+    def __init__(self, table, binding: str, column: str, value):
+        self.table = table
+        self.binding = binding
+        self.column = column
+        self.value = value
+        self.schema = table.schema.with_qualifier(binding)
+
+    def run(self):
+        return self.table.lookup(self.column, self.value)
+
+    def explain_label(self):
+        return f"IndexEqScan({self.table.name}.{self.column} = {self.value!r})"
+
+
+class IndexRangeScan(PhysicalOp):
+    """Range scan through a sorted index."""
+
+    def __init__(
+        self,
+        table,
+        binding: str,
+        column: str,
+        low=None,
+        high=None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ):
+        self.table = table
+        self.binding = binding
+        self.column = column
+        self.low = low
+        self.high = high
+        self.include_low = include_low
+        self.include_high = include_high
+        self.schema = table.schema.with_qualifier(binding)
+
+    def run(self):
+        index = self.table.index_on(self.column)
+        rids = index.range(self.low, self.high, self.include_low, self.include_high)
+        return [self.table.row_by_id(rid) for rid in rids]
+
+    def explain_label(self):
+        low = "" if self.low is None else f"{self.low!r} <{'=' if self.include_low else ''} "
+        high = "" if self.high is None else f" <{'=' if self.include_high else ''} {self.high!r}"
+        return f"IndexRangeScan({self.table.name}.{self.column}: {low}x{high})"
+
+
+class ValuesOp(PhysicalOp):
+    """A constant relation (used by federation to inline fetched results)."""
+
+    def __init__(self, schema: RelSchema, rows: Sequence[tuple], label: str = "Values"):
+        self.schema = schema
+        self._rows = [tuple(row) for row in rows]
+        self._label = label
+
+    def run(self):
+        return list(self._rows)
+
+    def explain_label(self):
+        return f"{self._label}({len(self._rows)} rows)"
+
+
+class RelabelOp(PhysicalOp):
+    """Free schema relabel (alias/rename); rows pass through untouched."""
+
+    def __init__(self, child: PhysicalOp, schema: RelSchema, label: str = "Relabel"):
+        self.child = child
+        self.schema = schema
+        self._label = label
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def run(self):
+        return self.child.run()
+
+    def explain_label(self):
+        return self._label
+
+
+class FilterOp(PhysicalOp):
+    def __init__(self, child: PhysicalOp, predicate_fn: Callable, description: str = ""):
+        self.child = child
+        self.predicate_fn = predicate_fn
+        self.description = description
+        self.schema = child.schema
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def run(self):
+        predicate = self.predicate_fn
+        return [row for row in self.child.run() if predicate(row)]
+
+    def explain_label(self):
+        return f"Filter({self.description})"
+
+
+class ProjectOp(PhysicalOp):
+    def __init__(self, child: PhysicalOp, fns: Sequence[Callable], schema: RelSchema, description: str = ""):
+        self.child = child
+        self.fns = list(fns)
+        self.schema = schema
+        self.description = description
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def run(self):
+        fns = self.fns
+        return [tuple(fn(row) for fn in fns) for row in self.child.run()]
+
+    def explain_label(self):
+        return f"Project({self.description})"
+
+
+class HashJoinOp(PhysicalOp):
+    """Hash join on equi-key positions; supports INNER and LEFT.
+
+    Builds on the right input, probes with the left. A residual predicate
+    (compiled against the concatenated schema) filters matches; for LEFT
+    joins, unmatched probe rows are padded with NULLs.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_key_positions: Sequence[int],
+        right_key_positions: Sequence[int],
+        kind: str = "INNER",
+        residual_fn: Optional[Callable] = None,
+        description: str = "",
+    ):
+        self.left = left
+        self.right = right
+        self.left_key_positions = list(left_key_positions)
+        self.right_key_positions = list(right_key_positions)
+        self.kind = kind
+        self.residual_fn = residual_fn
+        self.description = description
+        self.schema = left.schema.concat(right.schema)
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def run(self):
+        right_rows = self.right.run()
+        table: dict = {}
+        for row in right_rows:
+            key = tuple(row[i] for i in self.right_key_positions)
+            if any(part is None for part in key):
+                continue  # NULL never equi-joins
+            table.setdefault(key, []).append(row)
+        out: list[tuple] = []
+        null_pad = (None,) * len(self.right.schema)
+        residual = self.residual_fn
+        for row in self.left.run():
+            key = tuple(row[i] for i in self.left_key_positions)
+            matches = [] if any(part is None for part in key) else table.get(key, [])
+            matched = False
+            for other in matches:
+                combined = row + other
+                if residual is not None and not residual(combined):
+                    continue
+                out.append(combined)
+                matched = True
+            if not matched and self.kind == "LEFT":
+                out.append(row + null_pad)
+        return out
+
+    def explain_label(self):
+        return f"HashJoin[{self.kind}]({self.description})"
+
+
+class NestedLoopJoinOp(PhysicalOp):
+    """Fallback join for non-equi or missing conditions."""
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        condition_fn: Optional[Callable] = None,
+        kind: str = "INNER",
+        description: str = "",
+    ):
+        self.left = left
+        self.right = right
+        self.condition_fn = condition_fn
+        self.kind = kind
+        self.description = description
+        self.schema = left.schema.concat(right.schema)
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def run(self):
+        right_rows = self.right.run()
+        out: list[tuple] = []
+        null_pad = (None,) * len(self.right.schema)
+        condition = self.condition_fn
+        for row in self.left.run():
+            matched = False
+            for other in right_rows:
+                combined = row + other
+                if condition is not None and not condition(combined):
+                    continue
+                out.append(combined)
+                matched = True
+            if not matched and self.kind == "LEFT":
+                out.append(row + null_pad)
+        return out
+
+    def explain_label(self):
+        return f"NestedLoopJoin[{self.kind}]({self.description})"
+
+
+class MergeJoinOp(PhysicalOp):
+    """Sort-merge equi-join (INNER only); kept for operator-equivalence tests."""
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_key_positions: Sequence[int],
+        right_key_positions: Sequence[int],
+        description: str = "",
+    ):
+        self.left = left
+        self.right = right
+        self.left_key_positions = list(left_key_positions)
+        self.right_key_positions = list(right_key_positions)
+        self.description = description
+        self.schema = left.schema.concat(right.schema)
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def run(self):
+        def key_of(row, positions):
+            return tuple(row[i] for i in positions)
+
+        left_rows = sorted(
+            (row for row in self.left.run()
+             if not any(row[i] is None for i in self.left_key_positions)),
+            key=lambda row: key_of(row, self.left_key_positions),
+        )
+        right_rows = sorted(
+            (row for row in self.right.run()
+             if not any(row[i] is None for i in self.right_key_positions)),
+            key=lambda row: key_of(row, self.right_key_positions),
+        )
+        out: list[tuple] = []
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lkey = key_of(left_rows[i], self.left_key_positions)
+            rkey = key_of(right_rows[j], self.right_key_positions)
+            if lkey < rkey:
+                i += 1
+            elif lkey > rkey:
+                j += 1
+            else:
+                j_end = j
+                while j_end < len(right_rows) and key_of(
+                    right_rows[j_end], self.right_key_positions
+                ) == rkey:
+                    j_end += 1
+                i_end = i
+                while i_end < len(left_rows) and key_of(
+                    left_rows[i_end], self.left_key_positions
+                ) == lkey:
+                    i_end += 1
+                for a in range(i, i_end):
+                    for b in range(j, j_end):
+                        out.append(left_rows[a] + right_rows[b])
+                i, j = i_end, j_end
+        return out
+
+    def explain_label(self):
+        return f"MergeJoin({self.description})"
+
+
+class HashAggregateOp(PhysicalOp):
+    """Group-by hash aggregation.
+
+    `agg_specs` is a list of `(name, distinct, arg_fn)`; `arg_fn` of None
+    means COUNT(*) semantics (every row counts).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        group_fns: Sequence[Callable],
+        agg_specs: Sequence[tuple],
+        schema: RelSchema,
+        description: str = "",
+    ):
+        self.child = child
+        self.group_fns = list(group_fns)
+        self.agg_specs = list(agg_specs)
+        self.schema = schema
+        self.description = description
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def run(self):
+        from repro.sql.functions import make_aggregate
+
+        groups: dict = {}
+        for row in self.child.run():
+            key = tuple(fn(row) for fn in self.group_fns)
+            aggs = groups.get(key)
+            if aggs is None:
+                aggs = [make_aggregate(name, distinct) for name, distinct, _ in self.agg_specs]
+                groups[key] = aggs
+            for agg, (_, _, arg_fn) in zip(aggs, self.agg_specs):
+                agg.add(1 if arg_fn is None else arg_fn(row))
+        if not groups and not self.group_fns:
+            # Global aggregate over zero rows still yields one row.
+            aggs = [make_aggregate(name, distinct) for name, distinct, _ in self.agg_specs]
+            groups[()] = aggs
+        return [key + tuple(agg.finish() for agg in aggs) for key, aggs in groups.items()]
+
+    def explain_label(self):
+        return f"HashAggregate({self.description})"
+
+
+class SortOp(PhysicalOp):
+    """Multi-key sort. ASC places NULLs first, DESC places them last."""
+
+    def __init__(self, child: PhysicalOp, key_fns: Sequence[Callable], ascendings: Sequence[bool], description: str = ""):
+        self.child = child
+        self.key_fns = list(key_fns)
+        self.ascendings = list(ascendings)
+        self.schema = child.schema
+        self.description = description
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def run(self):
+        rows = self.child.run()
+        # Successive stable sorts from the least-significant key backward.
+        for key_fn, ascending in reversed(list(zip(self.key_fns, self.ascendings))):
+            def sort_key(row, fn=key_fn):
+                value = fn(row)
+                return (value is not None, value if value is not None else 0)
+
+            rows = sorted(rows, key=sort_key, reverse=not ascending)
+        return rows
+
+    def explain_label(self):
+        return f"Sort({self.description})"
+
+
+class LimitOp(PhysicalOp):
+    def __init__(self, child: PhysicalOp, limit: int):
+        self.child = child
+        self.limit = limit
+        self.schema = child.schema
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def run(self):
+        return self.child.run()[: self.limit]
+
+    def explain_label(self):
+        return f"Limit({self.limit})"
+
+
+class DistinctOp(PhysicalOp):
+    def __init__(self, child: PhysicalOp):
+        self.child = child
+        self.schema = child.schema
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def run(self):
+        seen = set()
+        out = []
+        for row in self.child.run():
+            if row not in seen:
+                seen.add(row)
+                out.append(row)
+        return out
+
+
+class UnionAllOp(PhysicalOp):
+    def __init__(self, inputs: Sequence[PhysicalOp]):
+        self.inputs = list(inputs)
+        self.schema = self.inputs[0].schema
+
+    @property
+    def children(self):
+        return tuple(self.inputs)
+
+    def run(self):
+        out: list[tuple] = []
+        for child in self.inputs:
+            out.extend(child.run())
+        return out

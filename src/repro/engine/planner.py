@@ -1,0 +1,293 @@
+"""Binder: turn a parsed `Select` into a logical plan.
+
+The binder resolves table names through a `TableResolver` (duck-typed:
+anything with `resolve_table(name) -> RelSchema` of unqualified columns).
+`repro.storage.Database` is adapted below; the mediator provides its own
+resolver over the virtual schema.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.common.errors import PlanError, SchemaError
+from repro.common.schema import RelSchema
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+)
+from repro.sql.ast import (
+    ColumnRef,
+    Expr,
+    FuncCall,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+)
+from repro.sql.exprutil import column_refs, contains_aggregate, transform, walk
+from repro.sql.functions import is_aggregate_name
+
+
+class DatabaseResolver:
+    """Adapt a `repro.storage.Database` to the TableResolver protocol."""
+
+    def __init__(self, db):
+        self.db = db
+
+    def resolve_table(self, name: str) -> RelSchema:
+        return self.db.table(name).schema
+
+
+def bind_select(stmt, resolver) -> LogicalPlan:
+    """Bind a Select or UnionSelect, producing an unoptimized logical plan."""
+    from repro.sql.ast import UnionSelect
+
+    if isinstance(stmt, UnionSelect):
+        return _bind_union(stmt, resolver)
+    return _Binder(stmt, resolver).bind()
+
+
+def _bind_union(stmt, resolver) -> LogicalPlan:
+    from repro.engine.logical import LogicalAlias, LogicalUnion
+
+    children = [_Binder(select, resolver).bind() for select in stmt.selects]
+    widths = {len(child.schema) for child in children}
+    if len(widths) != 1:
+        raise PlanError(f"UNION branches have differing widths: {sorted(widths)}")
+    plan: LogicalPlan = LogicalUnion(children)
+    if not stmt.all:
+        plan = LogicalDistinct(plan)
+    if stmt.order_by:
+        for item in stmt.order_by:
+            for ref in column_refs(item.expr):
+                if not plan.schema.has(ref.name, ref.qualifier):
+                    raise PlanError(
+                        f"ORDER BY column {ref} not in the union's first branch"
+                    )
+        plan = LogicalSort(plan, stmt.order_by)
+    if stmt.limit is not None:
+        plan = LogicalLimit(plan, stmt.limit)
+    return plan
+
+
+class _Binder:
+    def __init__(self, stmt: Select, resolver):
+        self.stmt = stmt
+        self.resolver = resolver
+
+    def bind(self) -> LogicalPlan:
+        plan = self._bind_from()
+        input_schema = plan.schema
+
+        if self.stmt.where is not None:
+            self._check_refs(self.stmt.where, input_schema, context="WHERE")
+            if contains_aggregate(self.stmt.where):
+                raise PlanError("aggregates are not allowed in WHERE")
+            plan = LogicalFilter(plan, self.stmt.where)
+
+        items = self._expand_stars(self.stmt.items, input_schema)
+
+        needs_aggregate = bool(self.stmt.group_by) or any(
+            contains_aggregate(item.expr) for item in items
+        )
+        if self.stmt.having is not None and not needs_aggregate:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+
+        order_items = list(self.stmt.order_by)
+        if needs_aggregate:
+            plan, items, having, order_items = self._bind_aggregate(
+                plan, items, order_items
+            )
+            if having is not None:
+                plan = LogicalFilter(plan, having)
+        else:
+            for item in items:
+                self._check_refs(item.expr, input_schema, context="SELECT")
+
+        project = LogicalProject(plan, items)
+
+        if self.stmt.distinct:
+            result: LogicalPlan = LogicalDistinct(project)
+        else:
+            result = project
+
+        if order_items:
+            result = self._bind_order(result, project, order_items)
+
+        if self.stmt.limit is not None:
+            result = LogicalLimit(result, self.stmt.limit)
+        return result
+
+    # -- FROM clause -----------------------------------------------------------
+
+    def _bind_from(self) -> LogicalPlan:
+        tables = self.stmt.tables()
+        if not tables:
+            raise PlanError("SELECT without FROM is not supported")
+        seen: set[str] = set()
+        for table in tables:
+            binding = table.binding.lower()
+            if binding in seen:
+                raise PlanError(f"duplicate table binding {table.binding!r}")
+            seen.add(binding)
+
+        def scan(ref) -> LogicalScan:
+            schema = self.resolver.resolve_table(ref.name)
+            return LogicalScan(ref.name, ref.binding, schema)
+
+        plan: LogicalPlan = scan(self.stmt.from_tables[0])
+        for ref in self.stmt.from_tables[1:]:
+            plan = LogicalJoin(plan, scan(ref), "INNER", None)
+        for join in self.stmt.joins:
+            right = scan(join.table)
+            if join.condition is not None:
+                self._check_refs(
+                    join.condition, plan.schema.concat(right.schema), context="ON"
+                )
+            plan = LogicalJoin(plan, right, join.kind, join.condition)
+        return plan
+
+    # -- select list -------------------------------------------------------------
+
+    def _expand_stars(
+        self, items: Sequence[SelectItem], schema: RelSchema
+    ) -> list[SelectItem]:
+        out: list[SelectItem] = []
+        for item in items:
+            if isinstance(item.expr, Star):
+                qualifier = item.expr.qualifier
+                matched = [
+                    column
+                    for column in schema
+                    if qualifier is None
+                    or (column.qualifier or "").lower() == qualifier.lower()
+                ]
+                if not matched:
+                    raise SchemaError(f"no columns match {item.expr}")
+                out.extend(
+                    SelectItem(ColumnRef(column.name, column.qualifier))
+                    for column in matched
+                )
+            else:
+                out.append(item)
+        if not out:
+            raise PlanError("empty select list")
+        return out
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _bind_aggregate(self, plan, items, order_items):
+        input_schema = plan.schema
+        group_exprs = list(self.stmt.group_by)
+        for expr in group_exprs:
+            self._check_refs(expr, input_schema, context="GROUP BY")
+
+        aggregates: list[FuncCall] = []
+
+        def collect(expr: Expr):
+            for node in walk(expr):
+                if isinstance(node, FuncCall) and is_aggregate_name(node.name):
+                    for arg in node.args:
+                        if contains_aggregate(arg):
+                            raise PlanError("nested aggregates are not allowed")
+                        if not isinstance(arg, Star):
+                            self._check_refs(arg, input_schema, context=node.name)
+                    if node not in aggregates:
+                        aggregates.append(node)
+
+        for item in items:
+            collect(item.expr)
+        if self.stmt.having is not None:
+            collect(self.stmt.having)
+        for order in order_items:
+            collect(order.expr)
+
+        group_names = self._group_names(group_exprs)
+        agg_names = [f"_a{i}" for i in range(len(aggregates))]
+        aggregate = LogicalAggregate(plan, group_exprs, group_names, aggregates, agg_names)
+
+        # Rewrite post-aggregation expressions to reference aggregate outputs.
+        mapping: dict[Expr, Expr] = {}
+        for expr, name in zip(group_exprs, group_names):
+            mapping[expr] = ColumnRef(name)
+        for call, name in zip(aggregates, agg_names):
+            mapping[call] = ColumnRef(name)
+
+        def rewrite(expr: Expr) -> Expr:
+            def replace(node: Expr):
+                return mapping.get(node)
+
+            return transform(expr, replace)
+
+        new_items = [SelectItem(rewrite(item.expr), item.alias) for item in items]
+        for item in new_items:
+            self._check_group_refs(item.expr, aggregate.schema)
+        having = None
+        if self.stmt.having is not None:
+            having = rewrite(self.stmt.having)
+            self._check_group_refs(having, aggregate.schema)
+        new_order = [
+            OrderItem(rewrite(order.expr), order.ascending) for order in order_items
+        ]
+        return aggregate, new_items, having, new_order
+
+    def _group_names(self, group_exprs) -> list[str]:
+        names: list[str] = []
+        for i, expr in enumerate(group_exprs):
+            if isinstance(expr, ColumnRef):
+                candidate = expr.name
+                if any(existing.lower() == candidate.lower() for existing in names):
+                    candidate = f"{expr.qualifier}_{expr.name}" if expr.qualifier else f"_g{i}"
+                names.append(candidate)
+            else:
+                names.append(f"_g{i}")
+        return names
+
+    def _check_group_refs(self, expr: Expr, agg_schema: RelSchema) -> None:
+        for ref in column_refs(expr):
+            if not agg_schema.has(ref.name, ref.qualifier):
+                raise PlanError(
+                    f"column {ref} must appear in GROUP BY or inside an aggregate"
+                )
+
+    # -- ORDER BY ----------------------------------------------------------------
+
+    def _bind_order(self, result, project: LogicalProject, order_items):
+        """Attach Sort above the projection.
+
+        ORDER BY may reference output aliases, bare select expressions or
+        (when unambiguous) input columns that also survive projection. Each
+        order expression is rewritten in terms of the projection's output.
+        """
+        out_schema = project.schema
+        rewritten: list[OrderItem] = []
+        item_by_expr = {item.expr: item.output_name for item in project.items}
+        for order in order_items:
+            expr = order.expr
+            if expr in item_by_expr:
+                expr = ColumnRef(item_by_expr[expr])
+            else:
+                for ref in column_refs(expr):
+                    if not out_schema.has(ref.name, ref.qualifier):
+                        raise PlanError(
+                            f"ORDER BY column {ref} is not in the select list"
+                        )
+            rewritten.append(OrderItem(expr, order.ascending))
+        return LogicalSort(result, rewritten)
+
+    # -- shared ------------------------------------------------------------------
+
+    def _check_refs(self, expr: Expr, schema: RelSchema, context: str) -> None:
+        for ref in column_refs(expr):
+            try:
+                schema.index_of(ref.name, ref.qualifier)
+            except SchemaError as exc:
+                raise SchemaError(f"in {context}: {exc}") from exc

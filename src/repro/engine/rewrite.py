@@ -1,0 +1,435 @@
+"""Rule-based logical rewrites.
+
+Three classical rules, applied in order by `optimize_logical`:
+
+1. constant folding over every embedded expression,
+2. predicate pushdown (filters sink through projects and joins toward scans),
+3. projection pruning (narrow scans to the columns the plan actually uses).
+
+Join ordering (`repro.engine.joinorder`) runs between 2 and 3 so that it
+sees filters already attached to the right inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.schema import RelSchema
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalAlias,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.sql.ast import (
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    SelectItem,
+    Star,
+    UnaryOp,
+)
+from repro.sql.eval import compile_expr
+from repro.sql.exprutil import (
+    column_refs,
+    conjoin,
+    referenced_qualifiers,
+    split_conjuncts,
+    substitute_columns,
+    transform,
+)
+from repro.sql.functions import is_aggregate_name
+
+_EMPTY_SCHEMA = RelSchema([])
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate literal-only subtrees and simplify boolean identities."""
+
+    def rule(node: Expr) -> Optional[Expr]:
+        simplified = _simplify_boolean(node)
+        if simplified is not None:
+            return simplified
+        if _is_foldable(node):
+            try:
+                value = compile_expr(node, _EMPTY_SCHEMA)(())
+            except Exception:
+                return None
+            return Literal(value)
+        return None
+
+    return transform(expr, rule)
+
+
+def _is_foldable(node: Expr) -> bool:
+    if isinstance(node, Literal):
+        return False
+    if isinstance(node, (ColumnRef, Star)):
+        return False
+    if isinstance(node, FuncCall) and is_aggregate_name(node.name):
+        return False
+    children: list[Expr]
+    from repro.sql.exprutil import children as expr_children
+
+    children = expr_children(node)
+    return bool(children) and all(isinstance(child, Literal) for child in children)
+
+
+def _simplify_boolean(node: Expr) -> Optional[Expr]:
+    if isinstance(node, BinaryOp) and node.op == "AND":
+        if node.left == Literal(True):
+            return node.right
+        if node.right == Literal(True):
+            return node.left
+        if Literal(False) in (node.left, node.right):
+            return Literal(False)
+    if isinstance(node, BinaryOp) and node.op == "OR":
+        if node.left == Literal(False):
+            return node.right
+        if node.right == Literal(False):
+            return node.left
+        if Literal(True) in (node.left, node.right):
+            return Literal(True)
+    if isinstance(node, UnaryOp) and node.op == "NOT":
+        if isinstance(node.operand, Literal) and isinstance(node.operand.value, bool):
+            return Literal(not node.operand.value)
+        if isinstance(node.operand, UnaryOp) and node.operand.op == "NOT":
+            return node.operand.operand
+    return None
+
+
+def fold_plan_constants(plan: LogicalPlan) -> LogicalPlan:
+    """Apply `fold_constants` to every expression embedded in the plan."""
+    children = [fold_plan_constants(child) for child in plan.children]
+    plan = plan.with_children(children) if children else plan
+    if isinstance(plan, LogicalFilter):
+        return LogicalFilter(plan.child, fold_constants(plan.predicate))
+    if isinstance(plan, LogicalJoin) and plan.condition is not None:
+        return LogicalJoin(
+            plan.left, plan.right, plan.kind, fold_constants(plan.condition)
+        )
+    if isinstance(plan, LogicalProject):
+        items = [
+            SelectItem(fold_constants(item.expr), item.alias) for item in plan.items
+        ]
+        return LogicalProject(plan.child, items)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def push_filters(plan: LogicalPlan) -> LogicalPlan:
+    """Sink filter conjuncts as close to the scans as legality allows."""
+    return _push(plan, [])
+
+
+def _push(plan: LogicalPlan, pending: list[Expr]) -> LogicalPlan:
+    if isinstance(plan, LogicalFilter):
+        conjuncts = split_conjuncts(plan.predicate)
+        return _push(plan.child, pending + conjuncts)
+
+    if isinstance(plan, LogicalProject):
+        pushable: list[Expr] = []
+        stuck: list[Expr] = []
+        mapping = _project_mapping(plan)
+        for conjunct in pending:
+            rewritten = substitute_columns(conjunct, mapping)
+            refs_ok = all(
+                plan.child.schema.has(ref.name, ref.qualifier)
+                for ref in column_refs(rewritten)
+            )
+            if refs_ok and not _has_aggregate(rewritten):
+                pushable.append(rewritten)
+            else:
+                stuck.append(conjunct)
+        child = _push(plan.child, pushable)
+        rebuilt = LogicalProject(child, plan.items)
+        return _wrap_filter(rebuilt, stuck)
+
+    if isinstance(plan, LogicalJoin):
+        return _push_join(plan, pending)
+
+    if isinstance(plan, LogicalAggregate):
+        pushable = []
+        stuck = []
+        group_map = {}
+        for expr, name in zip(plan.group_exprs, plan.group_names):
+            group_map[("", name.lower())] = expr
+        for conjunct in pending:
+            refs = column_refs(conjunct)
+            if refs and all(
+                ("", ref.name.lower()) in group_map and ref.qualifier is None
+                for ref in refs
+            ):
+                pushable.append(substitute_columns(conjunct, group_map))
+            else:
+                stuck.append(conjunct)
+        child = _push(plan.child, pushable)
+        rebuilt = plan.with_children([child])
+        return _wrap_filter(rebuilt, stuck)
+
+    if isinstance(plan, (LogicalSort, LogicalDistinct)):
+        child = _push(plan.children[0], pending)
+        return plan.with_children([child])
+
+    if isinstance(plan, LogicalAlias):
+        # Translate alias-qualified references back to the child's columns.
+        mapping = {
+            (plan.binding.lower(), child_col.name.lower()): ColumnRef(
+                child_col.name, child_col.qualifier
+            )
+            for child_col in plan.child.schema
+        }
+        pushable = []
+        stuck = []
+        for conjunct in pending:
+            rewritten = substitute_columns(conjunct, mapping)
+            if all(
+                plan.child.schema.has(ref.name, ref.qualifier)
+                for ref in column_refs(rewritten)
+            ):
+                pushable.append(rewritten)
+            else:
+                stuck.append(conjunct)
+        child = _push(plan.child, pushable)
+        return _wrap_filter(LogicalAlias(child, plan.binding), stuck)
+
+    if isinstance(plan, LogicalLimit):
+        # Filters must not move below LIMIT (it would change which rows are kept).
+        child = _push(plan.child, [])
+        return _wrap_filter(plan.with_children([child]), pending)
+
+    if isinstance(plan, LogicalUnion):
+        children = [_push(child, []) for child in plan.inputs]
+        return _wrap_filter(plan.with_children(children), pending)
+
+    if isinstance(plan, LogicalScan):
+        return _wrap_filter(plan, pending)
+
+    # Unknown/extension nodes: do not push through.
+    children = [_push(child, []) for child in plan.children]
+    rebuilt = plan.with_children(children) if children else plan
+    return _wrap_filter(rebuilt, pending)
+
+
+def _push_join(plan: LogicalJoin, pending: list[Expr]) -> LogicalPlan:
+    left_quals = _plan_qualifiers(plan.left)
+    right_quals = _plan_qualifiers(plan.right)
+    to_left: list[Expr] = []
+    to_right: list[Expr] = []
+    to_condition: list[Expr] = []
+    stuck: list[Expr] = []
+
+    candidates = list(pending)
+    if plan.kind == "INNER" and plan.condition is not None:
+        candidates += split_conjuncts(plan.condition)
+
+    for conjunct in candidates:
+        quals = referenced_qualifiers(conjunct)
+        if "" in quals:
+            # Unqualified refs: resolve by schema membership.
+            side = _side_of_unqualified(conjunct, plan)
+            if side == "left":
+                to_left.append(conjunct)
+            elif side == "right" and plan.kind == "INNER":
+                to_right.append(conjunct)
+            elif side == "right":
+                to_condition.append(conjunct)
+            else:
+                stuck.append(conjunct)
+            continue
+        if quals <= left_quals:
+            to_left.append(conjunct)
+        elif quals <= right_quals:
+            if plan.kind == "INNER":
+                to_right.append(conjunct)
+            else:
+                # Right-side predicates on a LEFT join filter padded rows if
+                # applied above, but narrow the join if merged into ON.
+                to_condition.append(conjunct)
+        else:
+            to_condition.append(conjunct)
+
+    left = _push(plan.left, to_left)
+    if plan.kind == "LEFT" and plan.condition is not None:
+        # The original ON condition of a LEFT join must stay intact.
+        to_condition = split_conjuncts(plan.condition) + [
+            c for c in to_condition if c not in split_conjuncts(plan.condition)
+        ]
+        right = _push(plan.right, to_right)
+        rebuilt = LogicalJoin(left, right, plan.kind, conjoin(to_condition))
+        return _wrap_filter(rebuilt, stuck)
+
+    right = _push(plan.right, to_right)
+    condition = conjoin(to_condition)
+    rebuilt = LogicalJoin(left, right, plan.kind, condition)
+    return _wrap_filter(rebuilt, stuck)
+
+
+def _side_of_unqualified(conjunct: Expr, plan: LogicalJoin) -> Optional[str]:
+    refs = column_refs(conjunct)
+    if all(plan.left.schema.has(ref.name, ref.qualifier) for ref in refs):
+        return "left"
+    if all(plan.right.schema.has(ref.name, ref.qualifier) for ref in refs):
+        return "right"
+    return None
+
+
+def _project_mapping(plan: LogicalProject) -> dict:
+    mapping = {}
+    for item, column in zip(plan.items, plan.schema):
+        key = ((column.qualifier or "").lower(), column.name.lower())
+        mapping[key] = item.expr
+    return mapping
+
+
+def _has_aggregate(expr: Expr) -> bool:
+    from repro.sql.exprutil import contains_aggregate
+
+    return contains_aggregate(expr)
+
+
+def _plan_qualifiers(plan: LogicalPlan) -> set[str]:
+    return {(column.qualifier or "").lower() for column in plan.schema} - {""} | {
+        (column.qualifier or "").lower() for column in plan.schema
+    }
+
+
+def _wrap_filter(plan: LogicalPlan, conjuncts: list[Expr]) -> LogicalPlan:
+    conjuncts = [c for c in conjuncts if c != Literal(True)]
+    predicate = conjoin(conjuncts)
+    if predicate is None:
+        return plan
+    return LogicalFilter(plan, predicate)
+
+
+# ---------------------------------------------------------------------------
+# Projection pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_columns(plan: LogicalPlan) -> LogicalPlan:
+    """Insert narrowing projections directly above scans.
+
+    Collects every `(qualifier, name)` referenced anywhere in the plan and
+    drops scan columns nothing uses. This is what keeps component queries
+    narrow when the federation layer ships them to remote sources.
+    """
+    required = _collect_required(plan)
+    return _apply_pruning(plan, required)
+
+
+def _collect_required(plan: LogicalPlan) -> set:
+    required: set = set()
+    for node in plan.walk():
+        exprs: list[Expr] = []
+        if isinstance(node, LogicalFilter):
+            exprs.append(node.predicate)
+        elif isinstance(node, LogicalJoin) and node.condition is not None:
+            exprs.append(node.condition)
+        elif isinstance(node, LogicalProject):
+            exprs.extend(item.expr for item in node.items)
+        elif isinstance(node, LogicalAggregate):
+            exprs.extend(node.group_exprs)
+            for call in node.aggregates:
+                exprs.extend(call.args)
+        elif isinstance(node, LogicalSort):
+            exprs.extend(item.expr for item in node.order_items)
+        elif isinstance(node, LogicalUnion):
+            # Union is positional; require all child columns.
+            for child in node.inputs:
+                for column in child.schema:
+                    required.add(
+                        ((column.qualifier or "").lower(), column.name.lower())
+                    )
+        for expr in exprs:
+            for ref in column_refs(expr):
+                required.add(((ref.qualifier or "").lower(), ref.name.lower()))
+    return required
+
+
+def _apply_pruning(plan: LogicalPlan, required: set) -> LogicalPlan:
+    if isinstance(plan, LogicalAlias):
+        # References to the alias binding translate to child columns.
+        translated = set(required)
+        binding = plan.binding.lower()
+        for column in plan.child.schema:
+            name = column.name.lower()
+            if (binding, name) in required or ("", name) in required:
+                translated.add(((column.qualifier or "").lower(), name))
+        child = _apply_pruning(plan.child, translated)
+        return LogicalAlias(child, plan.binding)
+    if isinstance(plan, LogicalScan):
+        keep = _keep_columns(plan, required)
+        if keep is None:
+            return plan
+        items = [
+            SelectItem(ColumnRef(column.name, column.qualifier)) for column in keep
+        ]
+        return LogicalProject(plan, items)
+    if isinstance(plan, LogicalFilter) and isinstance(plan.child, LogicalScan):
+        # Keep Filter directly over Scan so the executor can choose an index
+        # access path; the narrowing projection goes above the filter.
+        keep = _keep_columns(plan.child, required)
+        if keep is None:
+            return plan
+        items = [
+            SelectItem(ColumnRef(column.name, column.qualifier)) for column in keep
+        ]
+        return LogicalProject(plan, items)
+    children = [_apply_pruning(child, required) for child in plan.children]
+    return plan.with_children(children) if children else plan
+
+
+def _keep_columns(scan: LogicalScan, required: set):
+    """Columns of `scan` the plan needs, or None when nothing can be dropped."""
+    keep = [
+        column
+        for column in scan.schema
+        if ((column.qualifier or "").lower(), column.name.lower()) in required
+        or ("", column.name.lower()) in required
+    ]
+    if not keep:
+        keep = list(scan.schema.columns[:1])  # keep one column for COUNT(*)
+    if len(keep) == len(scan.schema):
+        return None
+    return keep
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def optimize_logical(plan: LogicalPlan, cost_model=None) -> LogicalPlan:
+    """Full logical optimization pipeline."""
+    from repro.engine.joinorder import reorder_joins
+
+    plan = fold_plan_constants(plan)
+    plan = push_filters(plan)
+    if cost_model is not None:
+        plan = reorder_joins(plan, cost_model)
+        plan = push_filters(plan)  # reordering can re-expose pushdown chances
+    plan = prune_columns(plan)
+    return plan

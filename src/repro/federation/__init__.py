@@ -1,0 +1,36 @@
+"""The federated query layer — the EII product core.
+
+Given a query over the global (federated) schema, the planner:
+
+1. binds and optimizes it with the shared logical optimizer,
+2. carves out *maximal single-source pushable subtrees* under each source's
+   declared dialect and capability description, turning each into a
+   component query (`LogicalFetch`),
+3. converts joins against binding-pattern sources (and, cost permitting,
+   joins between large remote inputs) into *bind joins* that ship join keys
+   instead of whole tables (`LogicalBindJoin`),
+4. selects the *assembly site* minimizing simulated bytes shipped, and
+5. executes component queries in parallel, assembling the residual plan at
+   the chosen site with the local engine.
+
+This implements the architecture of the panel's introduction and §3
+(Bitton): "maximize parallelism … minimize the amount of data shipped for
+assembly by utilizing local reduction and selecting the best assembly site."
+"""
+
+from repro.federation.catalog import FederationCatalog, SourceTable
+from repro.federation.nodes import LogicalBindJoin, LogicalFetch
+from repro.federation.planner import FederatedPlan, FederatedPlanner, plan_to_select
+from repro.federation.engine import FederatedEngine, FederatedResult
+
+__all__ = [
+    "FederatedEngine",
+    "FederatedPlan",
+    "FederatedPlanner",
+    "FederatedResult",
+    "FederationCatalog",
+    "LogicalBindJoin",
+    "LogicalFetch",
+    "SourceTable",
+    "plan_to_select",
+]

@@ -1,0 +1,271 @@
+"""Federated execution: parallel component fetches + assembly-site evaluation."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.common.errors import AdmissionError
+from repro.common.relation import Relation
+from repro.engine.cost import CostModel
+from repro.engine.executor import LocalEngine
+from repro.engine.logical import LogicalPlan
+from repro.federation.catalog import FederationCatalog
+from repro.federation.nodes import LogicalBindJoin, LogicalFetch, with_in_filter
+from repro.federation.planner import FederatedPlan, FederatedPlanner
+from repro.netsim.metrics import MetricsCollector
+from repro.netsim.network import NetworkModel
+from repro.sql.ast import Select
+from repro.storage.catalog import Database
+
+#: Simulated seconds per local cost unit at the assembly site.
+HUB_TIME_PER_COST_UNIT_S = 2e-6
+
+
+def parallel_makespan(durations: list, workers: int) -> float:
+    """Elapsed time of running `durations` on `workers` parallel slots.
+
+    Simple list scheduling in submission order — the same policy the thread
+    pool uses — so the simulated clock matches what the executor actually
+    overlaps.
+    """
+    if not durations:
+        return 0.0
+    workers = max(workers, 1)
+    slots = [0.0] * min(workers, len(durations))
+    for duration in durations:
+        slot = min(range(len(slots)), key=lambda i: slots[i])
+        slots[slot] += duration
+    return max(slots)
+
+
+@dataclass
+class FederatedResult:
+    """A federated query's answer plus its full execution accounting."""
+
+    relation: Relation
+    plan: FederatedPlan
+    metrics: MetricsCollector
+    fetch_seconds: list = field(default_factory=list)
+    elapsed_seconds: float = 0.0  # simulated wall clock (parallelism-aware)
+    from_cache: bool = False
+
+    def explain(self) -> str:
+        lines = [self.plan.pretty()]
+        summary = self.metrics.summary()
+        lines.append(
+            "metrics: "
+            + ", ".join(f"{key}={value}" for key, value in sorted(summary.items()))
+        )
+        lines.append(f"simulated elapsed: {self.elapsed_seconds:.4f}s")
+        return "\n".join(lines)
+
+
+class _FetchRuntime:
+    """Shared state the fetch/bind-join nodes use during one execution."""
+
+    def __init__(self, engine: "FederatedEngine", metrics: MetricsCollector, site: str):
+        self.engine = engine
+        self.metrics = metrics
+        self.site = site
+        self.cache: dict[int, Relation] = {}
+
+    def fetch(self, node: LogicalFetch, metrics: Optional[MetricsCollector] = None) -> Relation:
+        cached = self.cache.get(id(node))
+        if cached is not None:
+            return cached
+        collector = metrics if metrics is not None else self.metrics
+        raw = node.source.execute_select(node.stmt, collector)
+        collector.record_transfer(
+            node.source.name,
+            self.site,
+            rows=len(raw),
+            payload_bytes=raw.size_bytes(),
+            wire_format=node.source.capabilities.wire_format,
+            description=f"fetch from {node.source.name}",
+        )
+        # Relabel positionally: the residual plan resolves against the
+        # schema of the subtree the fetch replaced.
+        result = Relation(node.schema, raw.rows)
+        self.cache[id(node)] = result
+        return result
+
+    def bind_fetch(self, node: LogicalBindJoin, keys: list) -> Relation:
+        rows: list[tuple] = []
+        for start in range(0, len(keys), node.max_inlist):
+            chunk = keys[start : start + node.max_inlist]
+            stmt = with_in_filter(node.template, node.right_key, chunk)
+            raw = node.source.execute_select(stmt, self.metrics)
+            self.metrics.record_transfer(
+                node.source.name,
+                self.site,
+                rows=len(raw),
+                payload_bytes=raw.size_bytes(),
+                wire_format=node.source.capabilities.wire_format,
+                description=f"bind fetch from {node.source.name} ({len(chunk)} keys)",
+            )
+            rows.extend(raw.rows)
+        if not keys:
+            return Relation(node.fetch_schema, [])
+        return Relation(node.fetch_schema, rows)
+
+
+class FederatedEngine:
+    """The EII server: plans and executes queries over registered sources."""
+
+    def __init__(
+        self,
+        catalog: FederationCatalog,
+        network: Optional[NetworkModel] = None,
+        parallel_workers: int = 4,
+        semijoin: str = "auto",
+        choose_assembly_site: bool = True,
+        planner: Optional[FederatedPlanner] = None,
+        admission_budget_s: Optional[float] = None,
+        cache_ttl_s: Optional[float] = None,
+        clock=time.time,
+    ):
+        self.catalog = catalog
+        self.network = network or NetworkModel()
+        self.parallel_workers = max(parallel_workers, 1)
+        self.planner = planner or FederatedPlanner(
+            catalog,
+            network=self.network,
+            semijoin=semijoin,
+            choose_assembly_site=choose_assembly_site,
+        )
+        #: reject queries predicted to run longer than this (None = admit all)
+        self.admission_budget_s = admission_budget_s
+        #: serve repeated text queries from cache within this TTL (None = off)
+        self.cache_ttl_s = cache_ttl_s
+        self.clock = clock
+        self._cache: dict[str, tuple[float, FederatedResult]] = {}
+        self._scratch = Database("assembly")
+        self._local = LocalEngine(self._scratch, optimize=False)
+
+    # -- public -----------------------------------------------------------------
+
+    def query(self, query: Union[str, Select, LogicalPlan]) -> FederatedResult:
+        """Plan and execute a federated query (cache- and admission-aware)."""
+        cache_key = query if isinstance(query, str) else None
+        if cache_key is not None and self.cache_ttl_s is not None:
+            hit = self._cache.get(cache_key)
+            if hit is not None and self.clock() - hit[0] <= self.cache_ttl_s:
+                cached = hit[1]
+                return FederatedResult(
+                    cached.relation,
+                    cached.plan,
+                    cached.metrics,
+                    cached.fetch_seconds,
+                    elapsed_seconds=0.0,
+                    from_cache=True,
+                )
+        plan = self.planner.plan(query)
+        if self.admission_budget_s is not None:
+            predicted = self.predict_elapsed(plan)
+            if predicted > self.admission_budget_s:
+                raise AdmissionError(
+                    f"query predicted to take {predicted:.3f}s, over the "
+                    f"{self.admission_budget_s:.3f}s admission budget",
+                    predicted_seconds=predicted,
+                )
+        result = self.execute_plan(plan)
+        if cache_key is not None and self.cache_ttl_s is not None:
+            self._cache[cache_key] = (self.clock(), result)
+        return result
+
+    def predict_elapsed(self, plan: FederatedPlan) -> float:
+        """Pre-execution prediction of simulated elapsed seconds.
+
+        Sums per-fetch predictions (source overhead + estimated execution +
+        estimated transfer to the assembly site), list-schedules them over
+        the worker pool, and adds assembly compute plus the final transfer.
+        """
+        fetch_predictions = []
+        for fetch in plan.fetches:
+            source = fetch.source
+            caps = source.capabilities
+            exec_s = (
+                caps.per_query_overhead_s
+                + fetch.est_rows * caps.time_per_cost_unit_s
+            )
+            size = int(fetch.est_rows * fetch.schema.average_row_width())
+            transfer_s = self.network.transfer_seconds(
+                source.name, plan.assembly_site, size, caps.wire_format
+            )
+            fetch_predictions.append(exec_s + transfer_s)
+        elapsed = parallel_makespan(fetch_predictions, self.parallel_workers)
+        elapsed += self._assembly_cost(plan)
+        elapsed += self.network.transfer_seconds(
+            plan.assembly_site, "client", plan.est_result_bytes
+        )
+        for bind in plan.bind_joins:
+            caps = bind.source.capabilities
+            elapsed += caps.per_query_overhead_s + bind.est_rows * caps.time_per_cost_unit_s
+        return elapsed
+
+    def explain(self, query: Union[str, Select, LogicalPlan]) -> str:
+        return self.planner.plan(query).pretty()
+
+    def execute_plan(self, plan: FederatedPlan) -> FederatedResult:
+        metrics = MetricsCollector(network=self.network)
+        runtime = _FetchRuntime(self, metrics, plan.assembly_site)
+        for node in plan.root.walk():
+            if isinstance(node, (LogicalFetch, LogicalBindJoin)):
+                node.runtime = runtime
+
+        fetch_seconds = self._prefetch(plan.fetches, runtime, metrics)
+        fetch_elapsed = parallel_makespan(fetch_seconds, self.parallel_workers)
+
+        after_fetch_work = metrics.simulated_seconds
+        physical = self._local.lower(plan.root)
+        relation = physical.relation()
+        # Bind joins and any late fetches executed serially during assembly.
+        serial_tail = metrics.simulated_seconds - after_fetch_work
+
+        assembly_seconds = self._assembly_cost(plan)
+        metrics.charge_seconds(assembly_seconds)
+
+        final_transfer = metrics.record_transfer(
+            plan.assembly_site,
+            "client",
+            rows=len(relation),
+            payload_bytes=relation.size_bytes(),
+            description="final result to client",
+        )
+        elapsed = fetch_elapsed + serial_tail + assembly_seconds + final_transfer
+        return FederatedResult(relation, plan, metrics, fetch_seconds, elapsed)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _prefetch(self, fetches: list, runtime: _FetchRuntime, metrics) -> list:
+        """Run component queries concurrently; returns per-fetch sim seconds."""
+        durations: list[float] = []
+        if not fetches:
+            return durations
+
+        def run_one(node: LogicalFetch) -> MetricsCollector:
+            local = MetricsCollector(network=self.network)
+            runtime.fetch(node, metrics=local)
+            return local
+
+        if self.parallel_workers == 1 or len(fetches) == 1:
+            collectors = [run_one(node) for node in fetches]
+        else:
+            with ThreadPoolExecutor(max_workers=self.parallel_workers) as pool:
+                collectors = list(pool.map(run_one, fetches))
+        for collector in collectors:
+            durations.append(collector.simulated_seconds)
+            metrics.transfers.extend(collector.transfers)
+            metrics.source_queries.update(collector.source_queries)
+            metrics.simulated_seconds += collector.simulated_seconds
+            metrics.rows_shipped += collector.rows_shipped
+            metrics.payload_bytes += collector.payload_bytes
+            metrics.wire_bytes += collector.wire_bytes
+        return durations
+
+    def _assembly_cost(self, plan: FederatedPlan) -> float:
+        estimate = self.planner.cost_model.estimate(plan.root)
+        return estimate.cost * HUB_TIME_PER_COST_UNIT_S

@@ -1,0 +1,234 @@
+"""Federation-specific plan nodes: remote fetches and bind joins.
+
+Both are logical-plan extension nodes that plug into the shared optimizer
+and executor through the `estimate_cost` / `lower_physical` hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.common.errors import PlanError
+from repro.common.relation import Relation
+from repro.common.schema import RelSchema
+from repro.engine.cost import PlanCost
+from repro.engine.logical import LogicalPlan
+from repro.engine.physical import PhysicalOp
+from repro.sql.ast import ColumnRef, Expr, InList, Literal, Select, and_all
+from repro.sql.printer import to_sql
+
+#: Maximum literals in one generated IN-list; longer key sets are chunked
+#: into multiple component queries.
+DEFAULT_MAX_INLIST = 200
+
+
+class LogicalFetch(LogicalPlan):
+    """A component query executed at one source, shipped to the assembly site.
+
+    `stmt` is a Select over the source's *local* table names. The node's
+    schema is the output schema of the subtree it replaced, so everything
+    above it keeps resolving; remote results are re-labeled positionally.
+    """
+
+    def __init__(
+        self,
+        stmt: Select,
+        source,
+        schema: RelSchema,
+        est_rows: float = 1000.0,
+        est: Optional[PlanCost] = None,
+    ):
+        self.stmt = stmt
+        self.source = source
+        self.schema = schema
+        self.est_rows = est_rows
+        #: full estimate of the replaced subtree (keeps column statistics so
+        #: joins above the fetch stay well-estimated at the assembly site)
+        self.est = est
+        self.runtime = None  # injected by FederatedEngine before lowering
+
+    def label(self):
+        return f"Fetch[{self.source.name}]({to_sql(self.stmt)})"
+
+    def estimate_cost(self, cost_model) -> PlanCost:
+        if self.est is not None:
+            return PlanCost(self.est.rows, self.est.rows, self.est.column_stats)
+        return PlanCost(self.est_rows, self.est_rows)
+
+    def lower_physical(self, engine) -> "FetchOp":
+        if self.runtime is None:
+            raise PlanError("LogicalFetch has no runtime; use FederatedEngine")
+        return FetchOp(self)
+
+    # -- execution ----------------------------------------------------------------
+
+    def fetch(self) -> Relation:
+        """Execute the component query and charge the transfer."""
+        return self.runtime.fetch(self)
+
+
+class FetchOp(PhysicalOp):
+    """Physical side of LogicalFetch: returns (possibly prefetched) rows."""
+
+    def __init__(self, node: LogicalFetch):
+        self.node = node
+        self.schema = node.schema
+
+    def run(self):
+        return self.node.fetch().rows
+
+    def explain_label(self):
+        return self.node.label()
+
+
+class LogicalBindJoin(LogicalPlan):
+    """Join where the right side is fetched per batch of left-side keys.
+
+    Executes the left child, collects the distinct values of
+    `left_key` from its output, and issues the right-side component query
+    with an extra `right_key IN (…)` conjunct (chunked at `max_inlist`).
+    This is both the semijoin-reduction tactic of §3 and the only legal
+    access path for binding-pattern (web-service) sources.
+    """
+
+    def __init__(
+        self,
+        left: LogicalPlan,
+        template: Select,
+        source,
+        fetch_schema: RelSchema,
+        left_key: ColumnRef,
+        right_key: ColumnRef,
+        kind: str = "INNER",
+        residual: Optional[Expr] = None,
+        max_inlist: int = DEFAULT_MAX_INLIST,
+        est_rows: float = 1000.0,
+    ):
+        if kind not in ("INNER", "LEFT"):
+            raise PlanError(f"bind join does not support kind {kind!r}")
+        self.left = left
+        self.template = template
+        self.source = source
+        self.fetch_schema = fetch_schema
+        self.left_key = left_key
+        self.right_key = right_key
+        self.kind = kind
+        self.residual = residual
+        self.max_inlist = max_inlist
+        self.est_rows = est_rows
+        self.schema = left.schema.concat(fetch_schema)
+        self.runtime = None
+
+    @property
+    def children(self):
+        return (self.left,)
+
+    def with_children(self, children):
+        (left,) = children
+        node = LogicalBindJoin(
+            left,
+            self.template,
+            self.source,
+            self.fetch_schema,
+            self.left_key,
+            self.right_key,
+            self.kind,
+            self.residual,
+            self.max_inlist,
+            self.est_rows,
+        )
+        node.runtime = self.runtime
+        return node
+
+    def label(self):
+        return (
+            f"BindJoin[{self.source.name}]({self.left_key} -> {self.right_key}: "
+            f"{to_sql(self.template)})"
+        )
+
+    def estimate_cost(self, cost_model) -> PlanCost:
+        left = cost_model.estimate(self.left)
+        return PlanCost(max(left.rows, self.est_rows), left.cost + self.est_rows)
+
+    def lower_physical(self, engine) -> "BindJoinOp":
+        if self.runtime is None:
+            raise PlanError("LogicalBindJoin has no runtime; use FederatedEngine")
+        left_physical = engine.lower(self.left)
+        return BindJoinOp(self, left_physical, engine)
+
+
+class BindJoinOp(PhysicalOp):
+    """Physical bind join: probe the remote source with collected keys."""
+
+    def __init__(self, node: LogicalBindJoin, left: PhysicalOp, engine):
+        self.node = node
+        self.left = left
+        self.schema = node.schema
+        self._residual_fn = None
+        if node.residual is not None:
+            from repro.sql.eval import compile_predicate
+
+            self._residual_fn = compile_predicate(node.residual, node.schema)
+
+    @property
+    def children(self):
+        return (self.left,)
+
+    def run(self):
+        node = self.node
+        left_rows = self.left.run()
+        key_position = self.left.schema.index_of(
+            node.left_key.name, node.left_key.qualifier
+        )
+        keys: list = []
+        seen: set = set()
+        for row in left_rows:
+            value = row[key_position]
+            if value is not None and value not in seen:
+                seen.add(value)
+                keys.append(value)
+
+        fetched = node.runtime.bind_fetch(node, keys)
+        right_position = fetched.schema.index_of(
+            node.right_key.name, node.right_key.qualifier
+        )
+        table: dict = {}
+        for row in fetched.rows:
+            value = row[right_position]
+            if value is not None:
+                table.setdefault(value, []).append(row)
+
+        out: list[tuple] = []
+        null_pad = (None,) * len(node.fetch_schema)
+        for row in left_rows:
+            matches = table.get(row[key_position], [])
+            matched = False
+            for other in matches:
+                combined = row + other
+                if self._residual_fn is not None and not self._residual_fn(combined):
+                    continue
+                out.append(combined)
+                matched = True
+            if not matched and node.kind == "LEFT":
+                out.append(row + null_pad)
+        return out
+
+    def explain_label(self):
+        return self.node.label()
+
+
+def with_in_filter(template: Select, key_ref: ColumnRef, keys: Sequence) -> Select:
+    """Return `template` with an extra `key_ref IN (keys)` conjunct."""
+    in_clause = InList(key_ref, tuple(Literal(key) for key in keys))
+    where = and_all([c for c in (template.where, in_clause) if c is not None])
+    return Select(
+        items=template.items,
+        from_tables=template.from_tables,
+        joins=template.joins,
+        where=where,
+        group_by=template.group_by,
+        having=template.having,
+        order_by=template.order_by,
+        limit=template.limit,
+        distinct=template.distinct,
+    )

@@ -1,0 +1,615 @@
+"""Federated planning: decomposition, pushdown maximization, bind joins,
+assembly-site selection.
+
+The planner consumes an already-optimized logical plan whose scans reference
+global table names and produces a `FederatedPlan`: the same tree with every
+maximal single-source pushable subtree replaced by a `LogicalFetch`
+(component query), joins against binding-pattern sources converted to
+`LogicalBindJoin`, and an assembly site chosen to minimize simulated
+transfer cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.common.errors import PlanError
+from repro.engine.cost import CostModel
+from repro.engine.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalPlan,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalUnion,
+)
+from repro.engine.planner import bind_select
+from repro.engine.rewrite import optimize_logical
+from repro.federation.catalog import FederationCatalog
+from repro.federation.nodes import DEFAULT_MAX_INLIST, LogicalBindJoin, LogicalFetch
+from repro.netsim.network import NetworkModel
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    JoinClause,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    TableRef,
+    UnionSelect,
+)
+from repro.sql.exprutil import (
+    conjoin,
+    equi_join_sides,
+    split_conjuncts,
+    substitute_columns,
+)
+from repro.sql.parser import parse_select
+from repro.wrappers.dialects import PRED_IN
+from repro.wrappers.pushability import can_push_expr
+
+
+@dataclass
+class FederatedPlan:
+    """Output of federated planning, ready for the federated executor."""
+
+    root: LogicalPlan
+    fetches: list
+    bind_joins: list
+    assembly_site: str
+    est_result_rows: float = 0.0
+    est_result_bytes: int = 0
+
+    def pretty(self) -> str:
+        lines = [f"assembly site: {self.assembly_site}"]
+        lines.append(self.root.pretty())
+        return "\n".join(lines)
+
+
+@dataclass
+class _Info:
+    """Per-subtree pushability analysis."""
+
+    sources: frozenset
+    pushable: bool
+    #: scan binding -> bound column name, for scans still needing key bindings
+    unbound: dict = field(default_factory=dict)
+
+    @property
+    def single_source(self) -> Optional[str]:
+        if len(self.sources) == 1:
+            return next(iter(self.sources))
+        return None
+
+
+class FederatedPlanner:
+    """Builds `FederatedPlan`s over a `FederationCatalog`.
+
+    `semijoin` controls join-key shipping between remote inputs:
+    "auto" (cost-based), "force" (whenever legal) or "off". The planner
+    always uses bind joins for binding-pattern sources regardless — there is
+    no other access path.
+    """
+
+    def __init__(
+        self,
+        catalog: FederationCatalog,
+        network: Optional[NetworkModel] = None,
+        semijoin: str = "auto",
+        max_inlist: int = DEFAULT_MAX_INLIST,
+        max_bind_keys: int = 2000,
+        hub_site: str = "hub",
+        choose_assembly_site: bool = True,
+    ):
+        if semijoin not in ("auto", "force", "off"):
+            raise PlanError(f"unknown semijoin mode {semijoin!r}")
+        self.catalog = catalog
+        self.network = network or NetworkModel()
+        self.semijoin = semijoin
+        self.max_inlist = max_inlist
+        self.max_bind_keys = max_bind_keys
+        self.hub_site = hub_site
+        self.choose_assembly_site = choose_assembly_site
+        self.cost_model = CostModel(catalog)
+
+    # -- public ----------------------------------------------------------------
+
+    def plan(self, query: Union[str, Select, LogicalPlan]) -> FederatedPlan:
+        logical = self.logical_plan(query)
+        root = self._cut(logical)
+        self._check_access_paths(root)
+        fetches = [node for node in root.walk() if isinstance(node, LogicalFetch)]
+        bind_joins = [node for node in root.walk() if isinstance(node, LogicalBindJoin)]
+        est = self.cost_model.estimate(root)
+        est_bytes = int(est.rows * root.schema.average_row_width())
+        site = self._choose_site(fetches, est_bytes)
+        return FederatedPlan(root, fetches, bind_joins, site, est.rows, est_bytes)
+
+    def logical_plan(self, query: Union[str, Select, LogicalPlan]) -> LogicalPlan:
+        if isinstance(query, str):
+            from repro.sql.parser import parse
+
+            statement = parse(query)
+            if not isinstance(statement, (Select, UnionSelect)):
+                raise PlanError("federated queries must be SELECT statements")
+            query = statement
+        if isinstance(query, (Select, UnionSelect)):
+            query = bind_select(query, self.catalog)
+        return optimize_logical(query, self.cost_model)
+
+    # -- pushability analysis -----------------------------------------------------
+
+    def _dialect_of(self, source_name: str):
+        return self.catalog.sources[source_name].capabilities.dialect
+
+    def _analyze(self, node: LogicalPlan) -> _Info:
+        if isinstance(node, LogicalScan):
+            entry = self.catalog.entry(node.table_name)
+            required = entry.source.capabilities.required_binding(entry.local_name)
+            unbound = {node.binding.lower(): required} if required else {}
+            return _Info(frozenset({entry.source.name}), True, unbound)
+
+        if isinstance(node, (LogicalFetch, LogicalBindJoin)):
+            return _Info(frozenset(), False)
+
+        infos = [self._analyze(child) for child in node.children]
+        sources = frozenset().union(*(info.sources for info in infos)) if infos else frozenset()
+        unbound: dict = {}
+        for info in infos:
+            unbound.update(info.unbound)
+        children_pushable = all(info.pushable for info in infos)
+        single = next(iter(sources)) if len(sources) == 1 else None
+
+        if not children_pushable or single is None:
+            return _Info(sources, False, unbound)
+
+        dialect = self._dialect_of(single)
+
+        if isinstance(node, LogicalFilter):
+            remaining_unbound = dict(unbound)
+            ok = True
+            for conjunct in split_conjuncts(node.predicate):
+                binding = _binding_satisfied(conjunct, remaining_unbound)
+                if binding is not None:
+                    del remaining_unbound[binding]
+                    continue
+                if not can_push_expr(conjunct, dialect):
+                    ok = False
+            return _Info(sources, ok, remaining_unbound)
+
+        if isinstance(node, LogicalProject):
+            if dialect.fidelity == "scan_only":
+                ok = all(isinstance(item.expr, ColumnRef) for item in node.items)
+            else:
+                ok = all(can_push_expr(item.expr, dialect) for item in node.items)
+            return _Info(sources, ok, unbound)
+
+        if isinstance(node, LogicalJoin):
+            ok = dialect.supports_join and (
+                node.condition is None or can_push_expr(node.condition, dialect)
+            )
+            return _Info(sources, ok, unbound)
+
+        if isinstance(node, LogicalAggregate):
+            ok = dialect.supports_aggregate
+            ok = ok and all(can_push_expr(e, dialect) for e in node.group_exprs)
+            ok = ok and all(can_push_expr(a, dialect) for a in node.aggregates)
+            return _Info(sources, ok, unbound)
+
+        if isinstance(node, LogicalSort):
+            ok = dialect.supports_sort_limit and all(
+                can_push_expr(item.expr, dialect) for item in node.order_items
+            )
+            return _Info(sources, ok, unbound)
+
+        if isinstance(node, LogicalLimit):
+            return _Info(sources, dialect.supports_sort_limit, unbound)
+
+        if isinstance(node, LogicalDistinct):
+            return _Info(sources, dialect.supports_aggregate, unbound)
+
+        if isinstance(node, LogicalUnion):
+            return _Info(sources, False, unbound)
+
+        return _Info(sources, False, unbound)
+
+    # -- cutting ---------------------------------------------------------------------
+
+    def _cut(self, node: LogicalPlan) -> LogicalPlan:
+        info = self._analyze(node)
+        if info.pushable and info.single_source is not None and not info.unbound:
+            return self._make_fetch(node, info.single_source)
+        if isinstance(node, LogicalFilter):
+            split = self._cut_filter_partially(node)
+            if split is not None:
+                return split
+        children = [self._cut(child) for child in node.children]
+        rebuilt = node.with_children(children) if children else node
+        if isinstance(rebuilt, LogicalJoin):
+            converted = self._try_bind_join(rebuilt)
+            if converted is not None:
+                return converted
+        return rebuilt
+
+    def _cut_filter_partially(self, node: LogicalFilter) -> Optional[LogicalPlan]:
+        """Push the pushable conjuncts of a mixed filter, keep the rest local.
+
+        This is the partial-pushdown behavior a quirk-aware wrapper enables
+        (Draper §5): `price > 10 AND name LIKE '%x%'` over a dialect without
+        LIKE still ships only the `price > 10` survivors.
+        """
+        child_info = self._analyze(node.child)
+        source_name = child_info.single_source
+        if not child_info.pushable or source_name is None:
+            return None
+        dialect = self._dialect_of(source_name)
+        remaining_unbound = dict(child_info.unbound)
+        pushable: list[Expr] = []
+        stuck: list[Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            binding = _binding_satisfied(conjunct, remaining_unbound)
+            if binding is not None:
+                del remaining_unbound[binding]
+                pushable.append(conjunct)
+            elif can_push_expr(conjunct, dialect):
+                pushable.append(conjunct)
+            else:
+                stuck.append(conjunct)
+        if not pushable or not stuck or remaining_unbound:
+            return None
+        inner = LogicalFilter(node.child, conjoin(pushable))
+        fetch = self._make_fetch(inner, source_name)
+        return LogicalFilter(fetch, conjoin(stuck))
+
+    def _make_fetch(self, subtree: LogicalPlan, source_name: str) -> LogicalFetch:
+        stmt = plan_to_select(subtree, self.catalog)
+        est = self.cost_model.estimate(subtree)
+        source = self.catalog.sources[source_name]
+        return LogicalFetch(stmt, source, subtree.schema, est.rows, est)
+
+    # -- bind joins --------------------------------------------------------------------
+
+    def _try_bind_join(self, join: LogicalJoin) -> Optional[LogicalPlan]:
+        """Convert `join` to a bind join when required or beneficial."""
+        if join.condition is None:
+            return None
+
+        # Case 1 (required): the right side is an unbound binding-pattern
+        # subtree — the only access path is key-driven lookup. Filters the
+        # service cannot evaluate are peeled into bind-join residuals.
+        core, peeled = _peel_filters(join.right)
+        core_info = self._analyze(core)
+        if core_info.pushable and core_info.unbound and core_info.single_source:
+            return self._build_bind_join(
+                join, required=True, right_core=core, extra_residual=peeled
+            )
+        if join.kind == "INNER":
+            # An unbound source on the LEFT of an inner join: commute first.
+            left_core, left_peeled = _peel_filters(join.left)
+            left_info = self._analyze(left_core)
+            if left_info.pushable and left_info.unbound and left_info.single_source:
+                mirrored = LogicalJoin(join.right, join.left, "INNER", join.condition)
+                return self._build_bind_join(
+                    mirrored,
+                    required=True,
+                    right_core=left_core,
+                    extra_residual=left_peeled,
+                )
+
+        # Case 2 (optimization): both sides remote; ship keys instead of rows.
+        if self.semijoin == "off" or join.kind != "INNER":
+            return None
+        if (
+            isinstance(join.left, LogicalFetch)
+            and isinstance(join.right, LogicalFetch)
+            and join.left.est_rows > join.right.est_rows
+            and PRED_IN
+            in join.left.source.capabilities.dialect.supported_predicates
+        ):
+            # Drive the probe from the smaller side: mirror the join.
+            join = LogicalJoin(join.right, join.left, "INNER", join.condition)
+        if not isinstance(join.right, LogicalFetch):
+            return None
+        right: LogicalFetch = join.right
+        if PRED_IN not in right.source.capabilities.dialect.supported_predicates:
+            return None
+        left_est = self.cost_model.estimate(join.left).rows
+        if self.semijoin == "auto":
+            if left_est > self.max_bind_keys:
+                return None
+            if right.est_rows <= left_est * 1.5:
+                return None  # not enough reduction to pay per-chunk overhead
+        return self._build_bind_join(join, required=False)
+
+    def _build_bind_join(
+        self,
+        join: LogicalJoin,
+        required: bool,
+        right_core: Optional[LogicalPlan] = None,
+        extra_residual: Optional[list] = None,
+    ) -> Optional[LogicalPlan]:
+        right = right_core if right_core is not None else join.right
+        right_quals = {
+            (column.qualifier or "").lower() for column in right.schema
+        }
+        equi_pair = None
+        residual: list[Expr] = list(extra_residual or [])
+        for conjunct in split_conjuncts(join.condition):
+            sides = equi_join_sides(conjunct)
+            if sides is not None and equi_pair is None:
+                a, b = sides
+                if (a.qualifier or "").lower() in right_quals:
+                    a, b = b, a
+                if (
+                    join.left.schema.has(a.name, a.qualifier)
+                    and right.schema.has(b.name, b.qualifier)
+                ):
+                    equi_pair = (a, b)
+                    continue
+            residual.append(conjunct)
+        if equi_pair is None:
+            if required:
+                raise PlanError(
+                    f"binding-pattern source needs an equi-join key: {join.label()}"
+                )
+            return None
+        left_key, right_key = equi_pair
+
+        if isinstance(right, LogicalFetch):
+            template = right.stmt
+            source = right.source
+            fetch_schema = right.schema
+            est = right.est_rows
+        else:
+            info = self._analyze(right)
+            source = self.catalog.sources[info.single_source]
+            template = plan_to_select(right, self.catalog)
+            fetch_schema = right.schema
+            est = self.cost_model.estimate(right).rows
+        # For binding-pattern tables the probe must target the bound column.
+        bound = source.capabilities.required_binding(
+            template.from_tables[0].name if template.from_tables else ""
+        )
+        probe_ref = ColumnRef(right_key.name, right_key.qualifier)
+        if bound is not None and right_key.name.lower() != bound.lower():
+            raise PlanError(
+                f"source {source.name!r} requires binding on {bound!r}, "
+                f"but the join key is {right_key}"
+            )
+        return LogicalBindJoin(
+            left=join.left,
+            template=template,
+            source=source,
+            fetch_schema=fetch_schema,
+            left_key=left_key,
+            right_key=probe_ref,
+            kind=join.kind,
+            residual=conjoin(residual),
+            max_inlist=self.max_inlist,
+            est_rows=est,
+        )
+
+    # -- validation -----------------------------------------------------------------
+
+    def _check_access_paths(self, root: LogicalPlan) -> None:
+        for node in root.walk():
+            if isinstance(node, LogicalScan):
+                entry = self.catalog.entry(node.table_name)
+                required = entry.source.capabilities.required_binding(entry.local_name)
+                if required:
+                    raise PlanError(
+                        f"no access path: table {node.table_name!r} requires a "
+                        f"binding on {required!r} and no join supplies one"
+                    )
+
+    # -- assembly site ----------------------------------------------------------------
+
+    def _choose_site(self, fetches: list, est_result_bytes: int) -> str:
+        if not self.choose_assembly_site or not fetches:
+            return self.hub_site
+        candidates = {self.hub_site}
+        for fetch in fetches:
+            candidates.add(fetch.source.name)
+        best_site = self.hub_site
+        best_cost = None
+        for site in sorted(candidates):
+            cost = 0.0
+            for fetch in fetches:
+                size = int(fetch.est_rows * fetch.schema.average_row_width())
+                cost += self.network.transfer_seconds(
+                    fetch.source.name,
+                    site,
+                    size,
+                    fetch.source.capabilities.wire_format,
+                )
+            cost += self.network.transfer_seconds(site, "client", est_result_bytes)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_site = site
+        return best_site
+
+
+# ---------------------------------------------------------------------------
+# Logical subtree -> component SELECT
+# ---------------------------------------------------------------------------
+
+
+def plan_to_select(plan: LogicalPlan, catalog: FederationCatalog) -> Select:
+    """Convert a pushable subtree back into a SELECT over local table names.
+
+    Only the SQL-shaped stacks our own optimizer emits are supported:
+    Limit? Sort? Distinct? Project? (Filter(Aggregate))? Aggregate? Filter*
+    over a join tree of scans (narrowing bare-column projects are skipped).
+    """
+    node = plan
+    limit = None
+    order_items: tuple = ()
+    distinct = False
+
+    if isinstance(node, LogicalLimit):
+        limit = node.limit
+        node = node.child
+    if isinstance(node, LogicalSort):
+        order_items = node.order_items
+        node = node.child
+    if isinstance(node, LogicalDistinct):
+        distinct = True
+        node = node.child
+        if isinstance(node, LogicalSort) and not order_items:
+            order_items = node.order_items
+            node = node.child
+
+    items: Optional[tuple] = None
+    if isinstance(node, LogicalProject):
+        items = node.items
+        node = node.child
+
+    having: Optional[Expr] = None
+    pre_having_filter = None
+    if isinstance(node, LogicalFilter) and isinstance(node.child, LogicalAggregate):
+        pre_having_filter = node.predicate
+        node = node.child
+
+    group_by: tuple = ()
+    if isinstance(node, LogicalAggregate):
+        aggregate = node
+        group_by = aggregate.group_exprs
+        # Build the reverse mapping from aggregate-output names to the
+        # expressions that produce them, then substitute it back into the
+        # projection, HAVING and ORDER BY.
+        reverse: dict = {}
+        for expr, name in zip(aggregate.group_exprs, aggregate.group_names):
+            reverse[("", name.lower())] = expr
+        for call, name in zip(aggregate.aggregates, aggregate.agg_names):
+            reverse[("", name.lower())] = call
+        if items is None:
+            items = tuple(
+                SelectItem(ColumnRef(column.name), None)
+                for column in aggregate.schema
+            )
+        items = tuple(
+            SelectItem(substitute_columns(item.expr, reverse), item.output_name)
+            for item in items
+        )
+        if pre_having_filter is not None:
+            having = substitute_columns(pre_having_filter, reverse)
+        order_items = tuple(
+            OrderItem(substitute_columns(item.expr, reverse), item.ascending)
+            for item in order_items
+        )
+        node = aggregate.child
+    elif pre_having_filter is not None:  # pragma: no cover - defensive
+        raise PlanError("filter over non-aggregate in component conversion")
+
+    where_conjuncts: list[Expr] = []
+    while isinstance(node, LogicalFilter):
+        where_conjuncts.extend(split_conjuncts(node.predicate))
+        node = node.child
+
+    from_tables, joins, join_where = _collect_from(node, catalog)
+    where_conjuncts.extend(join_where)
+
+    if items is None:
+        items = tuple(
+            SelectItem(ColumnRef(column.name, column.qualifier))
+            for column in plan.schema
+        )
+
+    return Select(
+        items=tuple(items),
+        from_tables=tuple(from_tables),
+        joins=tuple(joins),
+        where=conjoin(where_conjuncts),
+        group_by=tuple(group_by),
+        having=having,
+        order_by=tuple(order_items),
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+def _collect_from(node: LogicalPlan, catalog: FederationCatalog):
+    """Flatten a join tree into FROM tables, JOIN clauses and WHERE conjuncts."""
+    if isinstance(node, LogicalScan):
+        local = catalog.entry(node.table_name).local_name
+        alias = None if node.binding.lower() == local.lower() else node.binding
+        return [TableRef(local, alias or node.binding)], [], []
+    if isinstance(node, LogicalProject):
+        # Narrowing projects inserted by pruning carry only bare columns.
+        if all(isinstance(item.expr, ColumnRef) for item in node.items):
+            return _collect_from(node.child, catalog)
+        raise PlanError(f"cannot convert computed mid-plan projection: {node.label()}")
+    if isinstance(node, LogicalFilter):
+        tables, joins, where = _collect_from(node.child, catalog)
+        return tables, joins, where + split_conjuncts(node.predicate)
+    if isinstance(node, LogicalJoin):
+        left_tables, left_joins, left_where = _collect_from(node.left, catalog)
+        if node.kind == "INNER":
+            right_tables, right_joins, right_where = _collect_from(node.right, catalog)
+            where = left_where + right_where
+            if node.condition is not None:
+                where.extend(split_conjuncts(node.condition))
+            return left_tables + right_tables, left_joins + right_joins, where
+        # LEFT join: the right side must be a plain scan (or narrowed scan).
+        right = node.right
+        while isinstance(right, LogicalProject) and all(
+            isinstance(item.expr, ColumnRef) for item in right.items
+        ):
+            right = right.child
+        if not isinstance(right, LogicalScan):
+            raise PlanError("LEFT join right side must be a base table to push")
+        local = catalog.entry(right.table_name).local_name
+        clause = JoinClause(TableRef(local, right.binding), "LEFT", node.condition)
+        return left_tables, left_joins + [clause], left_where
+    raise PlanError(f"cannot convert {node.label()} into a component query")
+
+
+def _peel_filters(plan: LogicalPlan):
+    """Strip Filter (and narrowing Project) layers, returning (core, predicates).
+
+    Used to expose an unbound binding-pattern scan under mediator-side
+    filters so the filters can become bind-join residuals.
+    """
+    peeled: list[Expr] = []
+    node = plan
+    while True:
+        if isinstance(node, LogicalFilter):
+            peeled.extend(split_conjuncts(node.predicate))
+            node = node.child
+            continue
+        if isinstance(node, LogicalProject) and all(
+            isinstance(item.expr, ColumnRef) for item in node.items
+        ):
+            node = node.child
+            continue
+        break
+    return node, peeled
+
+
+def _binding_satisfied(conjunct: Expr, unbound: dict) -> Optional[str]:
+    """If `conjunct` supplies literal keys for an unbound scan, return its binding."""
+    if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+        pair = (conjunct.left, conjunct.right)
+        for a, b in (pair, pair[::-1]):
+            if isinstance(a, ColumnRef) and isinstance(b, Literal):
+                binding = (a.qualifier or "").lower()
+                if unbound.get(binding, object()) == a.name.lower():
+                    return binding
+    if (
+        isinstance(conjunct, InList)
+        and not conjunct.negated
+        and isinstance(conjunct.operand, ColumnRef)
+        and all(isinstance(item, Literal) for item in conjunct.items)
+    ):
+        binding = (conjunct.operand.qualifier or "").lower()
+        if unbound.get(binding, object()) == conjunct.operand.name.lower():
+            return binding
+    return None

@@ -1,0 +1,32 @@
+"""The mediator: virtual schemas and query reformulation.
+
+Two classical mapping styles from the panel's introduction ("building a
+virtual schema … query processing would begin by reformulating a query
+posed over the virtual schema into queries over the data sources"):
+
+* **GAV** (global-as-view): each mediated table is defined as a query over
+  the global source tables; reformulation is view unfolding
+  (`repro.mediator.gav`).
+* **LAV** (local-as-view): each *source* table is described as a view over
+  a conceptual schema; reformulation is answering-queries-using-views, for
+  which we implement the MiniCon algorithm over conjunctive queries
+  (`repro.mediator.cq`, `repro.mediator.lav`).
+"""
+
+from repro.mediator.gav import GavMediator, MediatedSchema
+from repro.mediator.cq import Atom, ConjunctiveQuery, canonical_database, is_contained_in
+from repro.mediator.lav import LavMediator, LavMapping, minicon_rewritings
+from repro.mediator.updates import UpdateSagaGenerator
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "GavMediator",
+    "LavMapping",
+    "LavMediator",
+    "MediatedSchema",
+    "UpdateSagaGenerator",
+    "canonical_database",
+    "is_contained_in",
+    "minicon_rewritings",
+]

@@ -1,0 +1,459 @@
+"""Local-as-view reformulation: the MiniCon algorithm.
+
+Each source table is described as a view over a conceptual (mediated)
+schema. Answering a query then requires rewriting it using only the views.
+`minicon_rewritings` implements MiniCon (Pottinger & Halevy, VLDB 2000):
+
+1. build MiniCon Descriptions (MCDs) — for each query subgoal and view,
+   the least restrictive way the view can cover a *closed* set of subgoals
+   (closed: any query variable mapped onto a view existential drags every
+   subgoal it appears in into the same MCD);
+2. combine MCDs whose subgoal sets partition the query's subgoals into
+   candidate rewritings;
+3. soundness gate: each candidate is *verified* by expanding the views and
+   checking containment in the original query, so every returned rewriting
+   is guaranteed correct even for corner cases of the construction.
+
+`LavMediator` executes the union of rewritings against a federation
+catalog whose global tables are the view relations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.common.errors import ReformulationError
+from repro.mediator.cq import (
+    Atom,
+    ConjunctiveQuery,
+    Var,
+    is_contained_in,
+    parse_cq,
+)
+
+
+@dataclass(frozen=True)
+class LavMapping:
+    """One source relation described as a view over the conceptual schema."""
+
+    view: ConjunctiveQuery  # head predicate = the source relation
+
+    @classmethod
+    def parse(cls, text: str) -> "LavMapping":
+        return cls(parse_cq(text))
+
+    @property
+    def name(self) -> str:
+        return self.view.name
+
+
+@dataclass
+class _MCD:
+    """A MiniCon Description: `view` covers query subgoals `covered`."""
+
+    view: ConjunctiveQuery  # renamed-apart copy
+    view_index: int
+    covered: frozenset  # indexes of covered query subgoals
+    phi: dict  # query Var -> view term (Var or constant)
+    theta: dict  # view Var -> constant forced by the query
+
+
+def minicon_rewritings(
+    query: ConjunctiveQuery,
+    mappings: Sequence[LavMapping],
+    max_rewritings: int = 64,
+    verify: bool = True,
+) -> list[ConjunctiveQuery]:
+    """All (verified) conjunctive rewritings of `query` over the views."""
+    mcds: list[_MCD] = []
+    for view_index, mapping in enumerate(mappings):
+        view = mapping.view.rename_apart(f"_v{view_index}")
+        for goal_index in range(len(query.body)):
+            mcds.extend(_make_mcds(query, view, view_index, goal_index))
+    # Deduplicate MCDs covering the same goals with the same mappings.
+    unique: dict = {}
+    for mcd in mcds:
+        key = (
+            mcd.view_index,
+            mcd.covered,
+            tuple(sorted((v.name, repr(t)) for v, t in mcd.phi.items())),
+        )
+        unique.setdefault(key, mcd)
+    mcds = list(unique.values())
+
+    rewritings: list[ConjunctiveQuery] = []
+    seen: set = set()
+    all_goals = frozenset(range(len(query.body)))
+    for combo in _partitions(mcds, all_goals):
+        candidate = _combine(query, combo)
+        if candidate is None:
+            continue
+        key = repr(candidate)
+        if key in seen:
+            continue
+        seen.add(key)
+        if verify and not _verify(candidate, query, mappings):
+            continue
+        rewritings.append(candidate)
+        if len(rewritings) >= max_rewritings:
+            break
+    return rewritings
+
+
+class LavMediator:
+    """Answer conceptual-schema queries by executing MiniCon rewritings.
+
+    `executor` maps a rewriting (a CQ over view predicates) to a set of
+    rows — typically `FederatedEngine`-backed via `cq_to_select`. Results
+    of all rewritings are unioned under set semantics (certain answers come
+    from the union of contained rewritings).
+    """
+
+    def __init__(self, mappings: Sequence[LavMapping]):
+        self.mappings = list(mappings)
+
+    def rewrite(self, query: Union[str, ConjunctiveQuery]) -> list[ConjunctiveQuery]:
+        if isinstance(query, str):
+            query = parse_cq(query)
+        return minicon_rewritings(query, self.mappings)
+
+    def answer_with_engine(
+        self,
+        query: Union[str, ConjunctiveQuery],
+        engine,
+        column_names: dict,
+    ) -> set:
+        """Answer a conceptual query by running rewritings on a SQL engine.
+
+        The LAV views are ordinary (federated or local) tables; each MiniCon
+        rewriting is compiled to SQL via `cq_to_select` and the union of all
+        rewriting results is returned as a set of tuples (certain answers).
+        `column_names` maps each view table to its ordered column list.
+        """
+        if isinstance(query, str):
+            query = parse_cq(query)
+        rewritings = minicon_rewritings(query, self.mappings)
+        if not rewritings:
+            raise ReformulationError(
+                f"query {query.name!r} has no rewriting over the available views"
+            )
+        answers: set = set()
+        for rewriting in rewritings:
+            sql = cq_to_select(rewriting, column_names)
+            result = engine.query(sql)
+            relation = result.relation if hasattr(result, "relation") else result
+            answers |= set(relation.rows)
+        return answers
+
+    def answer(self, query: Union[str, ConjunctiveQuery], view_instances: dict) -> set:
+        """Evaluate all rewritings over materialized view instances."""
+        from repro.mediator.cq import evaluate
+
+        if isinstance(query, str):
+            query = parse_cq(query)
+        rewritings = minicon_rewritings(query, self.mappings)
+        if not rewritings:
+            raise ReformulationError(
+                f"query {query.name!r} has no rewriting over the available views"
+            )
+        answers: set = set()
+        for rewriting in rewritings:
+            answers |= evaluate(rewriting, view_instances)
+        return answers
+
+
+# ---------------------------------------------------------------------------
+# MCD construction
+# ---------------------------------------------------------------------------
+
+
+def _make_mcds(query, view, view_index, seed_goal: int) -> list[_MCD]:
+    """All minimal MCDs whose coverage includes query subgoal `seed_goal`."""
+    out: list[_MCD] = []
+    seed = query.body[seed_goal]
+    for view_atom in view.body:
+        if view_atom.predicate != seed.predicate or len(view_atom.terms) != len(seed.terms):
+            continue
+        state = _try_extend({}, {}, seed, view_atom, view)
+        if state is None:
+            continue
+        phi, theta = state
+        closed = _close(query, view, {seed_goal}, phi, theta)
+        for covered, phi2, theta2 in closed:
+            if covered and min(covered) == seed_goal:  # avoid duplicates
+                if _head_condition(query, view, phi2):
+                    out.append(
+                        _MCD(view, view_index, frozenset(covered), phi2, theta2)
+                    )
+    return out
+
+
+def _try_extend(phi: dict, theta: dict, goal: Atom, view_atom: Atom, view):
+    """Unify one query subgoal with one view atom, extending (phi, theta)."""
+    phi = dict(phi)
+    theta = dict(theta)
+    head_vars = set(view.head_vars())
+    for q_term, v_term in zip(goal.terms, view_atom.terms):
+        if isinstance(q_term, Var):
+            existing = phi.get(q_term)
+            if existing is None:
+                phi[q_term] = v_term
+            elif existing != v_term:
+                return None
+        else:  # query constant
+            if isinstance(v_term, Var):
+                if v_term not in head_vars:
+                    return None  # cannot filter an existential view variable
+                bound = theta.get(v_term)
+                if bound is None:
+                    theta[v_term] = q_term
+                elif bound != q_term:
+                    return None
+            elif v_term != q_term:
+                return None
+    return phi, theta
+
+
+def _close(query, view, covered: set, phi: dict, theta: dict):
+    """Enforce MiniCon property C2 by closing over existential mappings.
+
+    Returns a list of (covered, phi, theta) alternatives (branching over
+    which view atom absorbs each dragged-in subgoal).
+    """
+    head_vars = set(view.head_vars())
+    pending = [
+        (set(covered), dict(phi), dict(theta)),
+    ]
+    results = []
+    while pending:
+        covered_set, phi_now, theta_now = pending.pop()
+        violation = None
+        for q_var, v_term in phi_now.items():
+            if isinstance(v_term, Var) and v_term not in head_vars:
+                for goal_index, goal in enumerate(query.body):
+                    if goal_index in covered_set:
+                        continue
+                    if q_var in goal.variables():
+                        violation = goal_index
+                        break
+            if violation is not None:
+                break
+        if violation is None:
+            results.append((frozenset(covered_set), phi_now, theta_now))
+            continue
+        goal = query.body[violation]
+        for view_atom in view.body:
+            if view_atom.predicate != goal.predicate or len(view_atom.terms) != len(
+                goal.terms
+            ):
+                continue
+            state = _try_extend(phi_now, theta_now, goal, view_atom, view)
+            if state is None:
+                continue
+            phi2, theta2 = state
+            pending.append((covered_set | {violation}, phi2, theta2))
+    return results
+
+
+def _head_condition(query, view, phi: dict) -> bool:
+    """MiniCon property C1: covered query head vars map to view head vars."""
+    head_vars = set(view.head_vars())
+    for q_var in query.head_vars():
+        v_term = phi.get(q_var)
+        if v_term is None:
+            continue  # not covered by this MCD
+        if isinstance(v_term, Var) and v_term not in head_vars:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Combination
+# ---------------------------------------------------------------------------
+
+
+def _partitions(mcds: list, all_goals: frozenset):
+    """Yield MCD combinations whose coverages partition `all_goals`."""
+
+    def recurse(remaining: frozenset, chosen: list, start: int):
+        if not remaining:
+            yield list(chosen)
+            return
+        target = min(remaining)
+        for index in range(start, len(mcds)):
+            mcd = mcds[index]
+            if target not in mcd.covered:
+                continue
+            if not mcd.covered <= remaining:
+                continue  # MiniCon combines pairwise-disjoint MCDs only
+            chosen.append(mcd)
+            yield from recurse(remaining - mcd.covered, chosen, 0)
+            chosen.pop()
+
+    yield from recurse(all_goals, [], 0)
+
+
+_fresh_counter = itertools.count()
+
+
+def _combine(query, combo: list) -> Optional[ConjunctiveQuery]:
+    """Build the rewriting CQ from one MCD combination."""
+    # Union-find over query variables equated by mapping onto the same
+    # distinguished view variable within one MCD.
+    parent: dict = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for mcd in combo:
+        by_view_var: dict = {}
+        for q_var, v_term in mcd.phi.items():
+            if isinstance(v_term, Var):
+                by_view_var.setdefault(v_term, []).append(q_var)
+        for group in by_view_var.values():
+            for other in group[1:]:
+                union(group[0], other)
+
+    # Constants forced on query variables (query var mapped to a view
+    # constant or a theta-bound head var).
+    const_of: dict = {}
+    for mcd in combo:
+        for q_var, v_term in mcd.phi.items():
+            value = None
+            if not isinstance(v_term, Var):
+                value = v_term
+            elif v_term in mcd.theta:
+                value = mcd.theta[v_term]
+            if value is not None:
+                root = find(q_var)
+                if root in const_of and const_of[root] != value:
+                    return None
+                const_of[root] = value
+
+    def rep(q_var):
+        root = find(q_var)
+        return const_of.get(root, root)
+
+    body: list[Atom] = []
+    for mcd in combo:
+        inverse: dict = {}
+        for q_var, v_term in mcd.phi.items():
+            if isinstance(v_term, Var):
+                inverse.setdefault(v_term, q_var)
+        args = []
+        for v_term in mcd.view.head:
+            if not isinstance(v_term, Var):
+                args.append(v_term)
+            elif v_term in inverse:
+                args.append(rep(inverse[v_term]))
+            elif v_term in mcd.theta:
+                args.append(mcd.theta[v_term])
+            else:
+                args.append(Var(f"_F{next(_fresh_counter)}"))
+        body.append(Atom(mcd.view.name, tuple(args)))
+
+    # Two MCDs can contribute the identical view atom; keep one (set semantics).
+    body = list(dict.fromkeys(body))
+    head = tuple(
+        rep(term) if isinstance(term, Var) else term for term in query.head
+    )
+    # Safety: all head vars must survive in the body.
+    body_vars = {var for atom in body for var in atom.variables()}
+    for term in head:
+        if isinstance(term, Var) and term not in body_vars:
+            return None
+    return ConjunctiveQuery(f"{query.name}_rw", head, tuple(body))
+
+
+# ---------------------------------------------------------------------------
+# Verification
+# ---------------------------------------------------------------------------
+
+
+def _verify(candidate, query, mappings: Sequence[LavMapping]) -> bool:
+    """Expand the views inside `candidate` and check containment in `query`."""
+    by_name = {mapping.name: mapping.view for mapping in mappings}
+    expanded_body: list[Atom] = []
+    for index, atom in enumerate(candidate.body):
+        view = by_name.get(atom.predicate)
+        if view is None:
+            return False
+        view = view.rename_apart(f"_e{index}")
+        if len(view.head) != len(atom.terms):
+            return False
+        substitution = {}
+        equalities: list[tuple] = []
+        for v_term, arg in zip(view.head, atom.terms):
+            if isinstance(v_term, Var):
+                if v_term in substitution and substitution[v_term] != arg:
+                    equalities.append((substitution[v_term], arg))
+                else:
+                    substitution[v_term] = arg
+            elif v_term != arg:
+                if isinstance(arg, Var):
+                    substitution_arg_equalities = (v_term, arg)
+                    equalities.append(substitution_arg_equalities)
+                else:
+                    return False
+        expanded = view.substitute(substitution)
+        if equalities:
+            # Apply equalities by substituting vars with their partner.
+            eq_map = {}
+            for a, b in equalities:
+                if isinstance(b, Var):
+                    eq_map[b] = a
+                elif isinstance(a, Var):
+                    eq_map[a] = b
+                elif a != b:
+                    return False
+            expanded = expanded.substitute(eq_map)
+        expanded_body.extend(expanded.body)
+    expansion = ConjunctiveQuery(candidate.name, candidate.head, tuple(expanded_body))
+    return is_contained_in(expansion, query)
+
+
+def cq_to_select(cq: ConjunctiveQuery, column_names: dict) -> str:
+    """Render a rewriting as SQL over the view tables.
+
+    `column_names` maps each view predicate to its ordered column names.
+    Used to execute LAV rewritings on the federated engine.
+    """
+    from repro.sql.printer import render_literal
+
+    aliases = []
+    where: list[str] = []
+    select: list[str] = []
+    var_sites: dict = {}
+    for index, atom in enumerate(cq.body):
+        alias = f"b{index}"
+        aliases.append(f"{atom.predicate} AS {alias}")
+        columns = column_names[atom.predicate]
+        for column, term in zip(columns, atom.terms):
+            site = f"{alias}.{column}"
+            if isinstance(term, Var):
+                if term in var_sites:
+                    where.append(f"{var_sites[term]} = {site}")
+                else:
+                    var_sites[term] = site
+            else:
+                where.append(f"{site} = {render_literal(term)}")
+    for position, term in enumerate(cq.head):
+        if isinstance(term, Var):
+            select.append(f"{var_sites[term]} AS c{position}")
+        else:
+            select.append(f"{render_literal(term)} AS c{position}")
+    sql = f"SELECT DISTINCT {', '.join(select)} FROM {', '.join(aliases)}"
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    return sql

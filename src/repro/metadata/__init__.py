@@ -1,0 +1,40 @@
+"""Metadata and semantics management.
+
+Three panelists converge on the same diagnosis — Halevy: success depends
+on "meta-data management and schema heterogeneity" tooling; Pollock: "the
+data structure contains no formal semantics … semantics have always been
+in code"; Rosenthal: "It's the metadata, stupid!" and the research gap of
+*measuring* integration agility. This package supplies:
+
+* `Ontology` — a lightweight concept hierarchy with synonyms (the formal
+  semantics living *outside* code),
+* `MetadataRegistry` — enterprise-wide element registry: every source
+  column annotated with a concept, every mapping artifact recorded with
+  its dependencies,
+* `SemanticMatcher` — schema matching by shared concepts + name
+  similarity,
+* `ChangeImpactAnalyzer` — Rosenthal's agility metric: given a schema
+  change, which artifacts break and what does re-authoring cost (E12).
+"""
+
+from repro.metadata.ontology import Ontology
+from repro.metadata.registry import (
+    ElementRef,
+    MappingArtifact,
+    MetadataRegistry,
+    SchemaChange,
+)
+from repro.metadata.matcher import MatchSuggestion, SemanticMatcher
+from repro.metadata.impact import AgilityReport, ChangeImpactAnalyzer
+
+__all__ = [
+    "AgilityReport",
+    "ChangeImpactAnalyzer",
+    "ElementRef",
+    "MappingArtifact",
+    "MatchSuggestion",
+    "MetadataRegistry",
+    "Ontology",
+    "SchemaChange",
+    "SemanticMatcher",
+]

@@ -1,0 +1,72 @@
+"""Change impact analysis: Rosenthal's measurable "agility".
+
+"Research question: Provide ways to measure data integration agility …
+for predictable changes such as adding attributes or tables, and changing
+attribute representations." The analyzer answers with a concrete number:
+apply a schema-change script to the registry and total the re-authoring
+cost over every dependent artifact. Experiment E12 sweeps this over
+architectures with different coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.metadata.registry import MappingArtifact, MetadataRegistry, SchemaChange
+
+
+@dataclass
+class ImpactItem:
+    change: SchemaChange
+    artifact: MappingArtifact
+    rework_cost: float
+
+
+@dataclass
+class AgilityReport:
+    """The cost of absorbing a change script."""
+
+    items: list = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(item.rework_cost for item in self.items)
+
+    @property
+    def artifacts_touched(self) -> int:
+        return len({item.artifact.name for item in self.items})
+
+    def by_kind(self) -> dict:
+        out: dict = {}
+        for item in self.items:
+            out[item.artifact.kind] = out.get(item.artifact.kind, 0.0) + item.rework_cost
+        return out
+
+    def agility_score(self, total_investment: float) -> float:
+        """1 - (rework / total investment): 1.0 means the change is free."""
+        if total_investment <= 0:
+            return 1.0
+        return max(1.0 - self.total_cost / total_investment, 0.0)
+
+
+class ChangeImpactAnalyzer:
+    def __init__(self, registry: MetadataRegistry):
+        self.registry = registry
+
+    def analyze(self, changes: Sequence[SchemaChange]) -> AgilityReport:
+        report = AgilityReport()
+        for change in changes:
+            fraction = change.rework_fraction()
+            if fraction == 0.0:
+                continue
+            for artifact in self.registry.artifacts_depending_on(change.element):
+                report.items.append(
+                    ImpactItem(change, artifact, artifact.authoring_cost * fraction)
+                )
+        return report
+
+    def agility(self, changes: Sequence[SchemaChange]) -> float:
+        """Convenience: the agility score for a change script."""
+        report = self.analyze(changes)
+        return report.agility_score(self.registry.total_authoring_cost())

@@ -1,0 +1,86 @@
+"""Schema matching: propose correspondences between source elements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.correlation.similarity import jaro_winkler
+from repro.metadata.registry import ElementRef, MetadataRegistry
+
+#: Score contributed by concept agreement vs lexical similarity.
+CONCEPT_WEIGHT = 0.6
+NAME_WEIGHT = 0.4
+
+
+@dataclass(frozen=True)
+class MatchSuggestion:
+    left: ElementRef
+    right: ElementRef
+    score: float
+    reason: str
+
+
+class SemanticMatcher:
+    """Suggest element correspondences across two sources.
+
+    Scores combine (a) ontology agreement — both elements annotated with
+    the same or subsumption-related concepts — and (b) Jaro-Winkler
+    similarity of column names after synonym normalization. This is the
+    "tools that make it easy to bridge the semantic heterogeneity" layer
+    Halevy's introduction calls for, in miniature.
+    """
+
+    def __init__(self, registry: MetadataRegistry, threshold: float = 0.6):
+        self.registry = registry
+        self.threshold = threshold
+
+    def suggest(
+        self, left_source: str, right_source: str
+    ) -> list[MatchSuggestion]:
+        left_columns = [
+            element
+            for element in self.registry.elements()
+            if element.source.lower() == left_source.lower() and element.column
+        ]
+        right_columns = [
+            element
+            for element in self.registry.elements()
+            if element.source.lower() == right_source.lower() and element.column
+        ]
+        suggestions = []
+        for left in left_columns:
+            best: Optional[MatchSuggestion] = None
+            for right in right_columns:
+                suggestion = self._score(left, right)
+                if suggestion is None:
+                    continue
+                if best is None or suggestion.score > best.score:
+                    best = suggestion
+            if best is not None and best.score >= self.threshold:
+                suggestions.append(best)
+        suggestions.sort(key=lambda s: (-s.score, str(s.left)))
+        return suggestions
+
+    def _score(self, left: ElementRef, right: ElementRef) -> Optional[MatchSuggestion]:
+        ontology = self.registry.ontology
+        left_concept = self.registry.concept_of(left)
+        right_concept = self.registry.concept_of(right)
+        concept_score = 0.0
+        reason = "name similarity"
+        if left_concept and right_concept:
+            if left_concept == right_concept:
+                concept_score = 1.0
+                reason = f"both annotated {left_concept!r}"
+            elif ontology.related(left_concept, right_concept):
+                concept_score = 0.7
+                reason = f"{left_concept!r} relates to {right_concept!r}"
+        name_left = self._normalize(left.column)
+        name_right = self._normalize(right.column)
+        name_score = jaro_winkler(name_left, name_right)
+        score = CONCEPT_WEIGHT * concept_score + NAME_WEIGHT * name_score
+        return MatchSuggestion(left, right, round(score, 4), reason)
+
+    def _normalize(self, name: str) -> str:
+        canonical = self.registry.ontology.canonical(name)
+        return canonical if canonical is not None else name.lower()

@@ -1,0 +1,104 @@
+"""A lightweight ontology: concept subsumption plus synonyms."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.common.errors import EIIError
+
+
+class Ontology:
+    """Concepts in a forest, with is-a subsumption and synonym sets.
+
+    Deliberately much less than OWL — subsumption and synonymy are the two
+    inferences the matching and impact tools actually consume (Rosenthal:
+    "the same transitive relationships can represent matching knowledge").
+    """
+
+    def __init__(self, name: str = "enterprise"):
+        self.name = name
+        self._parent: dict[str, Optional[str]] = {}
+        self._synonyms: dict[str, str] = {}  # alias -> canonical concept
+
+    # -- construction -----------------------------------------------------------
+
+    def add_concept(self, concept: str, parent: Optional[str] = None) -> None:
+        key = concept.lower()
+        if key in self._parent:
+            raise EIIError(f"concept {concept!r} already defined")
+        if parent is not None:
+            parent_key = parent.lower()
+            if parent_key not in self._parent:
+                raise EIIError(f"unknown parent concept {parent!r}")
+            # reject cycles eagerly (parents exist before children, so the
+            # ancestor chain is already acyclic)
+            self._parent[key] = parent_key
+        else:
+            self._parent[key] = None
+
+    def add_synonym(self, alias: str, concept: str) -> None:
+        canonical = self.canonical(concept)
+        if canonical is None:
+            raise EIIError(f"unknown concept {concept!r}")
+        self._synonyms[alias.lower()] = canonical
+
+    # -- queries -----------------------------------------------------------------
+
+    def has(self, concept: str) -> bool:
+        return self.canonical(concept) is not None
+
+    def canonical(self, term: str) -> Optional[str]:
+        """Resolve a concept name or synonym to the canonical concept."""
+        key = term.lower()
+        if key in self._parent:
+            return key
+        return self._synonyms.get(key)
+
+    def ancestors(self, concept: str) -> list[str]:
+        key = self.canonical(concept)
+        if key is None:
+            raise EIIError(f"unknown concept {concept!r}")
+        chain = []
+        current = self._parent[key]
+        while current is not None:
+            chain.append(current)
+            current = self._parent[current]
+        return chain
+
+    def is_a(self, concept: str, ancestor: str) -> bool:
+        """True if `concept` equals or specializes `ancestor` (transitively)."""
+        key = self.canonical(concept)
+        target = self.canonical(ancestor)
+        if key is None or target is None:
+            return False
+        return key == target or target in self.ancestors(key)
+
+    def related(self, a: str, b: str) -> bool:
+        """True if the concepts are on one subsumption path (either way)."""
+        return self.is_a(a, b) or self.is_a(b, a)
+
+    def concepts(self) -> list[str]:
+        return sorted(self._parent)
+
+    def synonyms_of(self, term: str) -> list[str]:
+        """Every name (canonical + aliases) for the concept behind `term`."""
+        canonical = self.canonical(term)
+        if canonical is None:
+            return []
+        names = [canonical]
+        names.extend(
+            alias
+            for alias, target in sorted(self._synonyms.items())
+            if target == canonical
+        )
+        return names
+
+    def descendants(self, concept: str) -> list[str]:
+        target = self.canonical(concept)
+        if target is None:
+            raise EIIError(f"unknown concept {concept!r}")
+        return sorted(
+            key
+            for key in self._parent
+            if key != target and target in self.ancestors(key)
+        )

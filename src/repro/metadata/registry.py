@@ -1,0 +1,172 @@
+"""The enterprise metadata registry: elements, annotations, mapping artifacts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.common.errors import EIIError
+from repro.metadata.ontology import Ontology
+
+
+@dataclass(frozen=True)
+class ElementRef:
+    """A schema element: source.table.column (column None = whole table)."""
+
+    source: str
+    table: str
+    column: Optional[str] = None
+
+    def key(self) -> tuple:
+        return (
+            self.source.lower(),
+            self.table.lower(),
+            self.column.lower() if self.column else None,
+        )
+
+    def covers(self, other: "ElementRef") -> bool:
+        """A table-level ref covers all its columns."""
+        if self.key() == other.key():
+            return True
+        return (
+            self.column is None
+            and self.source.lower() == other.source.lower()
+            and self.table.lower() == other.table.lower()
+        )
+
+    def __str__(self):
+        tail = f".{self.column}" if self.column else ""
+        return f"{self.source}.{self.table}{tail}"
+
+
+@dataclass
+class MappingArtifact:
+    """Anything someone had to author that depends on schema elements.
+
+    `kind` distinguishes the artifact families the panel keeps listing as
+    duplicated effort: "gav_view", "etl_job", "eai_process", "report",
+    "lav_view", "join_index", "schema_on_read". `authoring_cost` is the
+    relative effort to (re)write it — the unit of the agility metric.
+    """
+
+    name: str
+    kind: str
+    inputs: Sequence[ElementRef]
+    output: Optional[str] = None
+    authoring_cost: float = 1.0
+
+    def depends_on(self, element: ElementRef) -> bool:
+        return any(
+            dep.covers(element) or element.covers(dep) for dep in self.inputs
+        )
+
+
+@dataclass(frozen=True)
+class SchemaChange:
+    """A source schema evolution event (Rosenthal's predictable changes)."""
+
+    kind: str  # "drop_column" | "rename_column" | "change_representation" | "add_column"
+    element: ElementRef
+    detail: str = ""
+
+    #: Fraction of each affected artifact that must be re-authored, by
+    #: change kind. Adding a column breaks nothing (but may warrant new
+    #: mappings); a representation change forces touching every consumer.
+    REWORK_FRACTION = {
+        "drop_column": 1.0,
+        "rename_column": 0.25,
+        "change_representation": 0.5,
+        "add_column": 0.0,
+    }
+
+    def rework_fraction(self) -> float:
+        if self.kind not in self.REWORK_FRACTION:
+            raise EIIError(f"unknown change kind {self.kind!r}")
+        return self.REWORK_FRACTION[self.kind]
+
+
+class MetadataRegistry:
+    """Registry of elements, concept annotations and mapping artifacts."""
+
+    def __init__(self, ontology: Optional[Ontology] = None):
+        self.ontology = ontology or Ontology()
+        self._elements: dict[tuple, ElementRef] = {}
+        self._concept_of: dict[tuple, str] = {}
+        self._description_of: dict[tuple, str] = {}
+        self._artifacts: dict[str, MappingArtifact] = {}
+
+    # -- elements ----------------------------------------------------------------
+
+    def register_element(
+        self,
+        element: ElementRef,
+        concept: Optional[str] = None,
+        description: str = "",
+    ) -> None:
+        self._elements[element.key()] = element
+        if concept is not None:
+            canonical = self.ontology.canonical(concept)
+            if canonical is None:
+                raise EIIError(f"unknown concept {concept!r}")
+            self._concept_of[element.key()] = canonical
+        if description:
+            self._description_of[element.key()] = description
+
+    def register_source_schema(self, source_name: str, tables: dict) -> int:
+        """Bulk-register `{table: [column, ...]}`; returns elements added."""
+        count = 0
+        for table, columns in tables.items():
+            self.register_element(ElementRef(source_name, table))
+            count += 1
+            for column in columns:
+                self.register_element(ElementRef(source_name, table, column))
+                count += 1
+        return count
+
+    def elements(self) -> list[ElementRef]:
+        return sorted(self._elements.values(), key=lambda e: str(e))
+
+    def concept_of(self, element: ElementRef) -> Optional[str]:
+        return self._concept_of.get(element.key())
+
+    def description_of(self, element: ElementRef) -> str:
+        return self._description_of.get(element.key(), "")
+
+    def elements_for_concept(self, concept: str, transitive: bool = True) -> list[ElementRef]:
+        """Elements annotated with `concept` (or a sub-concept of it)."""
+        out = []
+        for key, annotated in self._concept_of.items():
+            match = (
+                self.ontology.is_a(annotated, concept)
+                if transitive
+                else self.ontology.canonical(concept) == annotated
+            )
+            if match:
+                out.append(self._elements[key])
+        return sorted(out, key=lambda e: str(e))
+
+    # -- artifacts --------------------------------------------------------------------
+
+    def register_artifact(self, artifact: MappingArtifact) -> None:
+        if artifact.name in self._artifacts:
+            raise EIIError(f"artifact {artifact.name!r} already registered")
+        self._artifacts[artifact.name] = artifact
+
+    def artifacts(self, kind: Optional[str] = None) -> list[MappingArtifact]:
+        out = [
+            artifact
+            for artifact in self._artifacts.values()
+            if kind is None or artifact.kind == kind
+        ]
+        return sorted(out, key=lambda a: a.name)
+
+    def artifacts_depending_on(self, element: ElementRef) -> list[MappingArtifact]:
+        return [
+            artifact
+            for artifact in self.artifacts()
+            if artifact.depends_on(element)
+        ]
+
+    def total_authoring_cost(self, kind: Optional[str] = None) -> float:
+        """Total effort invested in mapping artifacts (Ashish's economics)."""
+        return sum(artifact.authoring_cost for artifact in self.artifacts(kind))

@@ -1,0 +1,16 @@
+"""NETMARK-style schema-less storage with schema-on-read.
+
+Ashish's §2 describes NASA's NETMARK: "data is managed in a schema-less
+manner; … imposition of structure and semantics (schema) may be done by
+clients as needed", with ordinary business documents as the interface.
+`NodeStore` keeps documents as generic parent/child node rows (the
+"schema-less extension for relational databases" of the NETMARK paper),
+supports keyword and path search ("context + content"), and
+`schema_on_read` projects documents onto a client-declared relational view
+— the lean alternative to up-front mediated-schema design whose economics
+experiment E4 measures.
+"""
+
+from repro.netmark.store import DocumentSource, NodeStore
+
+__all__ = ["DocumentSource", "NodeStore"]

@@ -1,0 +1,21 @@
+"""Deterministic network simulation and federation metrics.
+
+Real EII deployments live or die on how much data crosses the wire
+(Bitton, §3: "a huge amount of data is moved across the network"). Because
+this reproduction runs on one machine, transfers are *accounted* rather than
+performed: every component-query result shipped between sites is charged
+`latency + bytes / bandwidth` simulated seconds and recorded in a
+`MetricsCollector`. The serialization format matters — the panel's XML
+systems paid roughly a 3x size blowup, which `WireFormat.XML` models.
+"""
+
+from repro.netsim.network import Link, NetworkModel, WireFormat
+from repro.netsim.metrics import MetricsCollector, TransferRecord
+
+__all__ = [
+    "Link",
+    "MetricsCollector",
+    "NetworkModel",
+    "TransferRecord",
+    "WireFormat",
+]

@@ -1,0 +1,90 @@
+"""Metrics collection for federated execution.
+
+Every remote interaction of the federation layer funnels through
+`MetricsCollector.record_transfer` / `record_source_query`, which is what
+the benchmark harness reads to report bytes shipped, rows moved, per-source
+query counts and simulated elapsed time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.network import NetworkModel, WireFormat
+
+
+@dataclass
+class TransferRecord:
+    src: str
+    dst: str
+    rows: int
+    payload_bytes: int
+    wire_bytes: int
+    seconds: float
+    description: str = ""
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates federation-side counters for one query (or one run)."""
+
+    network: NetworkModel = field(default_factory=NetworkModel)
+    transfers: list = field(default_factory=list)
+    source_queries: Counter = field(default_factory=Counter)
+    simulated_seconds: float = 0.0
+    rows_shipped: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+
+    def record_transfer(
+        self,
+        src: str,
+        dst: str,
+        rows: int,
+        payload_bytes: int,
+        wire_format: WireFormat = WireFormat.BINARY,
+        description: str = "",
+    ) -> float:
+        """Charge one transfer and return its simulated duration."""
+        seconds = self.network.transfer_seconds(src, dst, payload_bytes, wire_format)
+        on_wire = self.network.wire_bytes(src, dst, payload_bytes, wire_format)
+        self.transfers.append(
+            TransferRecord(src, dst, rows, payload_bytes, on_wire, seconds, description)
+        )
+        self.simulated_seconds += seconds
+        self.rows_shipped += rows
+        self.payload_bytes += payload_bytes
+        self.wire_bytes += on_wire
+        return seconds
+
+    def record_source_query(self, source: str, seconds: float = 0.0) -> None:
+        """Count a component query against `source`, charging execution time."""
+        self.source_queries[source] += 1
+        self.simulated_seconds += seconds
+
+    def charge_seconds(self, seconds: float) -> None:
+        """Charge local (assembly-site) processing time."""
+        self.simulated_seconds += seconds
+
+    def total_source_queries(self) -> int:
+        return sum(self.source_queries.values())
+
+    def reset(self) -> None:
+        self.transfers.clear()
+        self.source_queries.clear()
+        self.simulated_seconds = 0.0
+        self.rows_shipped = 0
+        self.payload_bytes = 0
+        self.wire_bytes = 0
+
+    def summary(self) -> dict:
+        """Flat dict used by EXPLAIN output and the benchmark harness."""
+        return {
+            "source_queries": self.total_source_queries(),
+            "rows_shipped": self.rows_shipped,
+            "payload_bytes": self.payload_bytes,
+            "wire_bytes": self.wire_bytes,
+            "simulated_seconds": round(self.simulated_seconds, 6),
+        }

@@ -1,0 +1,74 @@
+"""The network cost model: sites, links and wire formats."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+DEFAULT_LATENCY_S = 0.002  # 2 ms round trip within a data center
+DEFAULT_BANDWIDTH_BPS = 12_500_000  # 100 Mbit/s in bytes per second
+
+
+class WireFormat(enum.Enum):
+    """Serialization format, as a size multiplier over the binary baseline.
+
+    `XML` carries the ~3x inflation Bitton's article attributes to
+    converting relational rows to XML before shipping them to an XQuery hub.
+    """
+
+    BINARY = 1.0
+    XML = 3.0
+
+    def inflate(self, size_bytes: int) -> int:
+        return int(size_bytes * self.value)
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed link between two sites."""
+
+    latency_s: float = DEFAULT_LATENCY_S
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
+
+    def transfer_seconds(self, size_bytes: int) -> float:
+        return self.latency_s + size_bytes / self.bandwidth_bps
+
+
+class NetworkModel:
+    """Site-to-site link registry with sensible defaults.
+
+    Sites are plain strings (`"hub"`, a source name, `"client"`). Links are
+    symmetric unless both directions are registered explicitly. Transfers
+    within one site are free.
+    """
+
+    def __init__(self, default_link: Link = Link()):
+        self.default_link = default_link
+        self._links: dict[tuple[str, str], Link] = {}
+
+    def set_link(self, src: str, dst: str, link: Link, symmetric: bool = True) -> None:
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def link(self, src: str, dst: str) -> Link:
+        return self._links.get((src, dst), self.default_link)
+
+    def transfer_seconds(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        wire_format: WireFormat = WireFormat.BINARY,
+    ) -> float:
+        """Simulated seconds to move `size_bytes` of payload src → dst."""
+        if src == dst:
+            return 0.0
+        inflated = wire_format.inflate(size_bytes)
+        return self.link(src, dst).transfer_seconds(inflated)
+
+    def wire_bytes(self, src: str, dst: str, size_bytes: int, wire_format: WireFormat) -> int:
+        """Actual bytes on the wire after serialization inflation."""
+        if src == dst:
+            return 0
+        return wire_format.inflate(size_bytes)

@@ -1,0 +1,17 @@
+"""Enterprise search across structured and unstructured data, with security.
+
+Sikka's §8 scenario: Jamie must find *everything* about a customer —
+orders and finances (structured), support interactions (semi-structured),
+news and brochures (documents) — without caring which source holds what,
+and "ensuring that only authorized users get access to the information
+they seek". `EnterpriseSearch` federates a tf-idf inverted index over
+documents with keyword search over structured relations, fuses the
+rankings (reciprocal-rank fusion: the "common semantic framework for
+integrating retrieval results from algorithms that operate on different
+data types"), and enforces per-item ACLs before results leave the engine.
+"""
+
+from repro.search.index import InvertedIndex, tokenize_text
+from repro.search.federated import EnterpriseSearch, SearchHit
+
+__all__ = ["EnterpriseSearch", "InvertedIndex", "SearchHit", "tokenize_text"]

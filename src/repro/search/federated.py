@@ -1,0 +1,205 @@
+"""Federated search with rank fusion and ACL enforcement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.common.relation import Relation
+from repro.search.index import InvertedIndex, tokenize_text
+
+#: Reciprocal-rank-fusion constant (standard value from the RRF paper).
+RRF_K = 60.0
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One unified search result."""
+
+    collection: str
+    key: object
+    score: float
+    snippet: str
+    kind: str  # "document" | "structured"
+
+
+@dataclass
+class _StructuredCollection:
+    name: str
+    provider: Callable[[], Relation]
+    key_field: str
+    text_fields: Sequence[str]
+    acl: Optional[frozenset]  # groups allowed; None = public
+
+
+@dataclass
+class _DocumentCollection:
+    name: str
+    index: InvertedIndex
+    acl_of: dict  # doc_id -> frozenset of groups (missing = public)
+
+
+class EnterpriseSearch:
+    """Search across document corpora and structured relations.
+
+    Structured collections are searched by keyword containment over their
+    declared text fields (scored by matched-term fraction); document
+    collections by tf-idf. Per-collection rankings are merged with
+    reciprocal-rank fusion so differently-scaled scores combine sanely.
+    Security: an item is visible if it is public or shares a group with
+    the caller's principal.
+    """
+
+    def __init__(self, ontology=None):
+        self._documents: dict[str, _DocumentCollection] = {}
+        self._structured: dict[str, _StructuredCollection] = {}
+        #: optional repro.metadata.Ontology used for synonym query expansion
+        self.ontology = ontology
+
+    def expand_query(self, query: str) -> str:
+        """Append ontology synonyms of each query term (semantic recall).
+
+        "It's all about context" (Pollock §6): a search for "client" also
+        matches documents saying "customer" once both name one concept.
+        """
+        if self.ontology is None:
+            return query
+        extra: list[str] = []
+        for token in tokenize_text(query):
+            for name in self.ontology.synonyms_of(token):
+                if name != token and name not in extra:
+                    extra.append(name)
+        if not extra:
+            return query
+        return query + " " + " ".join(extra)
+
+    # -- registration ------------------------------------------------------------
+
+    def register_documents(self, name: str) -> InvertedIndex:
+        collection = _DocumentCollection(name, InvertedIndex(), {})
+        self._documents[name] = collection
+        return collection.index
+
+    def add_document(
+        self,
+        collection: str,
+        doc_id,
+        text: str,
+        groups: Optional[Sequence[str]] = None,
+    ) -> None:
+        entry = self._documents[collection]
+        entry.index.add(doc_id, text)
+        if groups is not None:
+            entry.acl_of[doc_id] = frozenset(groups)
+
+    def register_structured(
+        self,
+        name: str,
+        provider: Callable[[], Relation],
+        key_field: str,
+        text_fields: Sequence[str],
+        groups: Optional[Sequence[str]] = None,
+    ) -> None:
+        self._structured[name] = _StructuredCollection(
+            name,
+            provider,
+            key_field,
+            list(text_fields),
+            frozenset(groups) if groups is not None else None,
+        )
+
+    def collections(self) -> list[str]:
+        return sorted(list(self._documents) + list(self._structured))
+
+    # -- search -------------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        principal_groups: Sequence[str] = (),
+        limit: int = 10,
+    ) -> list[SearchHit]:
+        groups = frozenset(principal_groups)
+        query = self.expand_query(query)
+        rankings: list[list[SearchHit]] = []
+        for collection in self._documents.values():
+            rankings.append(self._search_documents(collection, query, groups))
+        for collection in self._structured.values():
+            rankings.append(self._search_structured(collection, query, groups))
+        return _fuse(rankings, limit)
+
+    def _search_documents(
+        self, collection: _DocumentCollection, query: str, groups: frozenset
+    ) -> list[SearchHit]:
+        hits = []
+        for doc_id, score in collection.index.search(query, limit=50):
+            acl = collection.acl_of.get(doc_id)
+            if acl is not None and not (acl & groups):
+                continue
+            hits.append(
+                SearchHit(
+                    collection.name,
+                    doc_id,
+                    score,
+                    collection.index.snippet(doc_id, query),
+                    "document",
+                )
+            )
+        return hits
+
+    def _search_structured(
+        self, collection: _StructuredCollection, query: str, groups: frozenset
+    ) -> list[SearchHit]:
+        if collection.acl is not None and not (collection.acl & groups):
+            return []
+        terms = tokenize_text(query)
+        if not terms:
+            return []
+        relation = collection.provider()
+        key_pos = relation.schema.index_of(collection.key_field)
+        text_positions = [
+            relation.schema.index_of(field) for field in collection.text_fields
+        ]
+        scored = []
+        for row in relation.rows:
+            haystack = " ".join(
+                str(row[p]) for p in text_positions if row[p] is not None
+            ).lower()
+            matched = sum(1 for term in terms if term in haystack)
+            if matched:
+                snippet = haystack[:60]
+                scored.append(
+                    SearchHit(
+                        collection.name,
+                        row[key_pos],
+                        matched / len(terms),
+                        snippet,
+                        "structured",
+                    )
+                )
+        scored.sort(key=lambda hit: (-hit.score, str(hit.key)))
+        return scored[:50]
+
+
+def _fuse(rankings: list, limit: int) -> list[SearchHit]:
+    """Reciprocal-rank fusion across per-collection rankings."""
+    fused: dict = {}
+    best_hit: dict = {}
+    for ranking in rankings:
+        for rank, hit in enumerate(ranking, start=1):
+            key = (hit.collection, hit.key)
+            fused[key] = fused.get(key, 0.0) + 1.0 / (RRF_K + rank)
+            if key not in best_hit:
+                best_hit[key] = hit
+    merged = [
+        SearchHit(
+            best_hit[key].collection,
+            best_hit[key].key,
+            score,
+            best_hit[key].snippet,
+            best_hit[key].kind,
+        )
+        for key, score in fused.items()
+    ]
+    merged.sort(key=lambda hit: (-hit.score, hit.collection, str(hit.key)))
+    return merged[:limit]

@@ -1,0 +1,128 @@
+r"""An interactive federated SQL shell over the EIIBench enterprise.
+
+    python -m repro            # interactive
+    echo "SELECT ..." | python -m repro   # batch from stdin
+
+Commands:
+    \sources            list registered sources and their dialects
+    \tables             list federated tables
+    \explain <sql>      show the federated plan without executing
+    \metrics            toggle per-query execution accounting
+    \quit               exit
+
+Anything else is executed as federated SQL against the generated
+customer-360 enterprise (CRM + sales + support + finance + spreadsheet +
+credit web service + NETMARK documents).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import BenchConfig, build_enterprise
+from repro.common.errors import EIIError
+from repro.federation import FederatedEngine
+
+
+class Shell:
+    def __init__(self, scale: int = 1, out=None):
+        self.out = out if out is not None else sys.stdout
+        fixture = build_enterprise(BenchConfig(scale=scale))
+        self.engine = FederatedEngine(fixture.catalog())
+        self.show_metrics = True
+
+    def write(self, text: str = "") -> None:
+        print(text, file=self.out)
+
+    # -- command dispatch -----------------------------------------------------
+
+    def handle(self, line: str) -> bool:
+        """Process one input line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("\\"):
+            return self._command(line)
+        self._run_sql(line)
+        return True
+
+    def _command(self, line: str) -> bool:
+        command, _, argument = line.partition(" ")
+        command = command.lower()
+        if command in ("\\quit", "\\q"):
+            return False
+        if command == "\\sources":
+            for name, source in sorted(self.engine.catalog.sources.items()):
+                caps = source.capabilities
+                self.write(
+                    f"  {name:12} {type(source).__name__:18} "
+                    f"dialect={caps.dialect} wire={caps.wire_format.name}"
+                )
+            return True
+        if command == "\\tables":
+            for table in self.engine.catalog.table_names():
+                entry = self.engine.catalog.entry(table)
+                columns = ", ".join(entry.schema.names)
+                self.write(f"  {table:14} @{entry.source.name:10} ({columns})")
+            return True
+        if command == "\\explain":
+            if not argument.strip():
+                self.write("usage: \\explain <sql>")
+                return True
+            try:
+                self.write(self.engine.explain(argument))
+            except EIIError as exc:
+                self.write(f"error: {exc}")
+            return True
+        if command == "\\metrics":
+            self.show_metrics = not self.show_metrics
+            self.write(f"metrics {'on' if self.show_metrics else 'off'}")
+            return True
+        self.write(f"unknown command {command!r} (try \\sources \\tables \\explain \\quit)")
+        return True
+
+    def _run_sql(self, sql: str) -> None:
+        try:
+            result = self.engine.query(sql)
+        except EIIError as exc:
+            self.write(f"error: {exc}")
+            return
+        self.write(result.relation.pretty())
+        if self.show_metrics:
+            summary = result.metrics.summary()
+            self.write(
+                f"-- {len(result.relation)} rows; "
+                f"{summary['source_queries']} component queries; "
+                f"{summary['rows_shipped']} rows / {summary['wire_bytes']} bytes shipped; "
+                f"{result.elapsed_seconds:.4f}s simulated"
+            )
+
+    # -- loops ---------------------------------------------------------------------
+
+    def run(self, stream=None) -> None:
+        interactive = stream is None and sys.stdin.isatty()
+        stream = stream or sys.stdin
+        if interactive:
+            self.write("repro federated SQL shell — \\tables to look around, \\quit to exit")
+        while True:
+            if interactive:
+                self.out.write("eii> ")
+                self.out.flush()
+            line = stream.readline()
+            if not line:
+                break
+            if not self.handle(line):
+                break
+
+
+def main(argv=None) -> int:
+    scale = 1
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0].startswith("--scale="):
+        scale = int(argv[0].split("=", 1)[1])
+    Shell(scale=scale).run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Heterogeneous data sources behind capability-described adapters.
+
+The panel's introduction defines EII query processing as producing plans
+that "span multiple data sources and [deal] with the limitations and
+capabilities of each source". This package supplies four source families
+spanning that capability spectrum:
+
+* `RelationalSource` — a full DBMS (our storage engine + local optimizer)
+  behind a vendor `Dialect`; accepts whatever the dialect says it accepts.
+* `CsvSource` — a spreadsheet-grade file: scan-only, nothing pushes.
+* `WebServiceSource` — an API with a *binding pattern*: rows can only be
+  retrieved by supplying a key, which forces bind-join plans.
+* `DocumentSource` — a NETMARK-backed schema-less store exposing a
+  schema-on-read relational view (wired in `repro.netmark`).
+"""
+
+from repro.sources.base import DataSource, SourceCapabilities, SCAN_ONLY
+from repro.sources.relational import RelationalSource
+from repro.sources.csvfile import CsvSource
+from repro.sources.webservice import WebServiceSource
+
+__all__ = [
+    "CsvSource",
+    "DataSource",
+    "RelationalSource",
+    "SCAN_ONLY",
+    "SourceCapabilities",
+    "WebServiceSource",
+]

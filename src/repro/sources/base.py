@@ -1,0 +1,105 @@
+"""DataSource protocol and capability descriptions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import SourceError
+from repro.common.relation import Relation
+from repro.common.schema import RelSchema
+from repro.netsim.network import WireFormat
+from repro.sql.ast import Select
+from repro.storage.stats import TableStats
+from repro.wrappers.dialects import Dialect
+
+#: A pseudo-dialect for sources that can only be scanned in full.
+SCAN_ONLY = Dialect(
+    name="scan_only",
+    fidelity="scan_only",
+    supported_predicates=frozenset(),
+    supported_functions=frozenset(),
+    supports_join=False,
+    supports_aggregate=False,
+    supports_sort_limit=False,
+    supports_arithmetic=False,
+)
+
+
+@dataclass
+class SourceCapabilities:
+    """Everything the federated planner knows about a source.
+
+    `per_query_overhead_s` is the fixed cost of one component query
+    (connection + parse + admission); `time_per_cost_unit_s` converts the
+    local cost model's units into simulated seconds, so a slow source can be
+    modeled by raising it. `allows_external_queries` models Bitton's
+    carefully-tuned production systems whose administrators "would not even
+    consider" federated access — the advisor treats such sources as
+    warehouse-only.
+    """
+
+    dialect: Dialect
+    wire_format: WireFormat = WireFormat.BINARY
+    per_query_overhead_s: float = 0.005
+    time_per_cost_unit_s: float = 2e-6
+    allows_external_queries: bool = True
+    binding_patterns: dict = field(default_factory=dict)  # table -> required column
+
+    def required_binding(self, table: str) -> Optional[str]:
+        return self.binding_patterns.get(table.lower())
+
+
+class DataSource:
+    """Abstract data source: a named site exporting tables.
+
+    Component queries (`execute_select`) are expressed against the source's
+    *local* table names; the federation catalog handles global naming.
+    """
+
+    def __init__(self, name: str, capabilities: SourceCapabilities):
+        self.name = name
+        self.capabilities = capabilities
+
+    # -- schema ------------------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        raise NotImplementedError
+
+    def schema_of(self, table: str) -> RelSchema:
+        """Unqualified schema of a local table."""
+        raise NotImplementedError
+
+    def stats_of(self, table: str) -> Optional[TableStats]:
+        """Statistics if the source exposes them (may be None)."""
+        return None
+
+    def estimated_rows(self, table: str) -> float:
+        stats = self.stats_of(table)
+        return float(stats.row_count) if stats is not None else 1000.0
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute_select(self, stmt: Select, metrics=None) -> Relation:
+        """Run a component query. Raises CapabilityError if unsupported.
+
+        Implementations must call `self._account(metrics, seconds)` so that
+        per-source query counts and simulated execution time are recorded.
+        """
+        raise NotImplementedError
+
+    def _account(self, metrics, execution_seconds: float) -> None:
+        if metrics is not None:
+            metrics.record_source_query(
+                self.name,
+                self.capabilities.per_query_overhead_s + execution_seconds,
+            )
+
+    def _check_access(self) -> None:
+        if not self.capabilities.allows_external_queries:
+            raise SourceError(
+                f"source {self.name!r} does not admit external queries"
+            )
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,312 @@
+"""Abstract syntax tree for the SQL subset.
+
+All nodes are frozen dataclasses: they are hashable, comparable and safe to
+share between plans. Expression rewrites therefore build new trees rather
+than mutating (see `repro.sql.exprutil`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+class Expr:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: int, float, str, bool, datetime.date or None."""
+
+    value: object
+
+    def __str__(self):
+        from repro.sql.printer import render_literal
+
+        return render_literal(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """A possibly-qualified column reference (`c.name` or `name`)."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self):
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """`*` or `alias.*` in a select list, or inside COUNT(*)."""
+
+    qualifier: Optional[str] = None
+
+    def __str__(self):
+        return f"{self.qualifier}.*" if self.qualifier else "*"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operator; `op` is the canonical upper-case token.
+
+    Comparison: = <> < <= > >=; arithmetic: + - * / %; logical: AND OR;
+    string concatenation: ||.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: NOT or - (negation)."""
+
+    op: str
+    operand: Expr
+
+    def __str__(self):
+        if self.op == "NOT":
+            return f"(NOT {self.operand})"
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Scalar or aggregate function call; aggregates are resolved by name."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    distinct: bool = False
+
+    def __str__(self):
+        inner = ", ".join(str(arg) for arg in self.args)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+    def __str__(self):
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand} {suffix})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: Tuple[Expr, ...]
+    negated: bool = False
+
+    def __str__(self):
+        keyword = "NOT IN" if self.negated else "IN"
+        inner = ", ".join(str(item) for item in self.items)
+        return f"({self.operand} {keyword} ({inner}))"
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    """SQL LIKE with % and _ wildcards."""
+
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+    def __str__(self):
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand} {keyword} {self.pattern})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+    def __str__(self):
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return f"({self.operand} {keyword} {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class CaseWhen(Expr):
+    """Searched CASE: WHEN cond THEN value ... [ELSE default] END."""
+
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+    def __str__(self):
+        parts = ["CASE"]
+        for cond, value in self.whens:
+            parts.append(f"WHEN {cond} THEN {value}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of a select list: an expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return str(self.expr)
+
+    def __str__(self):
+        if self.alias:
+            return f"{self.expr} AS {self.alias}"
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base-table reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is known by inside the query."""
+        return self.alias or self.name
+
+    def __str__(self):
+        return f"{self.name} AS {self.alias}" if self.alias else self.name
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An explicit JOIN: `kind` is INNER or LEFT; `condition` is the ON expr."""
+
+    table: TableRef
+    kind: str = "INNER"
+    condition: Optional[Expr] = None
+
+    def __str__(self):
+        on = f" ON {self.condition}" if self.condition is not None else ""
+        return f"{self.kind} JOIN {self.table}{on}"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+    def __str__(self):
+        return f"{self.expr} {'ASC' if self.ascending else 'DESC'}"
+
+
+@dataclass(frozen=True)
+class Select:
+    """A SELECT statement over base tables with optional joins/grouping."""
+
+    items: Tuple[SelectItem, ...]
+    from_tables: Tuple[TableRef, ...] = ()
+    joins: Tuple[JoinClause, ...] = ()
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def tables(self) -> list[TableRef]:
+        """All table references, FROM-list and JOIN clauses alike."""
+        return list(self.from_tables) + [join.table for join in self.joins]
+
+    def __str__(self):
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)
+
+
+@dataclass(frozen=True)
+class UnionSelect:
+    """UNION [ALL] of two or more SELECTs.
+
+    `order_by`/`limit` apply to the whole union (lifted by the parser from
+    the final branch, per standard SQL reading).
+    """
+
+    selects: Tuple[Select, ...]
+    all: bool = False
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+
+    def __str__(self):
+        from repro.sql.printer import to_sql
+
+        return to_sql(self)
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple[Expr, ...], ...]
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Tuple[str, Expr], ...]
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+#: Convenience constructors used heavily by the planner and tests.
+
+
+def col(ref: str) -> ColumnRef:
+    """Build a ColumnRef from `"name"` or `"qualifier.name"`."""
+    if "." in ref:
+        qualifier, name = ref.rsplit(".", 1)
+        return ColumnRef(name, qualifier)
+    return ColumnRef(ref)
+
+
+def lit(value) -> Literal:
+    return Literal(value)
+
+
+def eq(left: Expr, right: Expr) -> BinaryOp:
+    return BinaryOp("=", left, right)
+
+
+def and_all(exprs: Sequence[Expr]) -> Optional[Expr]:
+    """Conjoin a sequence of predicates; returns None for an empty sequence."""
+    result = None
+    for expr in exprs:
+        result = expr if result is None else BinaryOp("AND", result, expr)
+    return result

@@ -1,0 +1,317 @@
+"""Compile AST expressions into row-evaluating closures.
+
+`compile_expr(expr, schema)` returns a `row -> value` callable bound to
+column positions at compile time, so per-row evaluation does no name
+resolution. NULL follows SQL three-valued logic: comparisons and arithmetic
+over NULL yield NULL, AND/OR use Kleene logic, and `compile_predicate` maps
+the final UNKNOWN to False (the WHERE-clause rule).
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from functools import lru_cache
+from typing import Callable
+
+from repro.common.errors import PlanError, TypeMismatchError
+from repro.common.schema import RelSchema
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.functions import call_scalar, is_aggregate_name
+
+_COMPARATORS = {
+    "=": operator.eq,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "%": operator.mod,
+}
+
+
+def compile_expr(expr: Expr, schema: RelSchema) -> Callable:
+    """Compile `expr` against `schema` into a `row -> value` closure."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+
+    if isinstance(expr, ColumnRef):
+        index = schema.index_of(expr.name, expr.qualifier)
+        return lambda row: row[index]
+
+    if isinstance(expr, Star):
+        raise PlanError("* is only valid in a select list or COUNT(*)")
+
+    if isinstance(expr, BinaryOp):
+        return _compile_binary(expr, schema)
+
+    if isinstance(expr, UnaryOp):
+        inner = compile_expr(expr.operand, schema)
+        if expr.op == "NOT":
+            def evaluate_not(row):
+                value = inner(row)
+                return None if value is None else not value
+
+            return evaluate_not
+        if expr.op == "-":
+            def evaluate_neg(row):
+                value = inner(row)
+                return None if value is None else -value
+
+            return evaluate_neg
+        raise PlanError(f"unknown unary operator {expr.op!r}")
+
+    if isinstance(expr, FuncCall):
+        if is_aggregate_name(expr.name):
+            raise PlanError(
+                f"aggregate {expr.name} outside of an Aggregate operator"
+            )
+        arg_fns = [compile_expr(arg, schema) for arg in expr.args]
+        name = expr.name
+
+        def evaluate_call(row):
+            return call_scalar(name, [fn(row) for fn in arg_fns])
+
+        return evaluate_call
+
+    if isinstance(expr, IsNull):
+        inner = compile_expr(expr.operand, schema)
+        if expr.negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+
+    if isinstance(expr, InList):
+        inner = compile_expr(expr.operand, schema)
+        item_fns = [compile_expr(item, schema) for item in expr.items]
+        negated = expr.negated
+
+        def evaluate_in(row):
+            value = inner(row)
+            if value is None:
+                return None
+            found = False
+            saw_null = False
+            for fn in item_fns:
+                item = fn(row)
+                if item is None:
+                    saw_null = True
+                elif _values_equal(value, item):
+                    found = True
+                    break
+            if found:
+                return not negated
+            if saw_null:
+                return None
+            return negated
+
+        return evaluate_in
+
+    if isinstance(expr, Like):
+        inner = compile_expr(expr.operand, schema)
+        pattern_fn = compile_expr(expr.pattern, schema)
+        negated = expr.negated
+
+        def evaluate_like(row):
+            value = inner(row)
+            pattern = pattern_fn(row)
+            if value is None or pattern is None:
+                return None
+            matched = _like_regex(pattern).match(value) is not None
+            return matched != negated
+
+        return evaluate_like
+
+    if isinstance(expr, Between):
+        inner = compile_expr(expr.operand, schema)
+        low_fn = compile_expr(expr.low, schema)
+        high_fn = compile_expr(expr.high, schema)
+        negated = expr.negated
+
+        def evaluate_between(row):
+            value = inner(row)
+            low = low_fn(row)
+            high = high_fn(row)
+            if value is None or low is None or high is None:
+                return None
+            result = low <= value <= high
+            return result != negated
+
+        return evaluate_between
+
+    if isinstance(expr, CaseWhen):
+        when_fns = [
+            (compile_expr(cond, schema), compile_expr(value, schema))
+            for cond, value in expr.whens
+        ]
+        default_fn = (
+            compile_expr(expr.default, schema) if expr.default is not None else None
+        )
+
+        def evaluate_case(row):
+            for cond_fn, value_fn in when_fns:
+                if cond_fn(row):
+                    return value_fn(row)
+            return default_fn(row) if default_fn is not None else None
+
+        return evaluate_case
+
+    raise PlanError(f"cannot compile expression node {type(expr).__name__}")
+
+
+def compile_predicate(expr: Expr, schema: RelSchema) -> Callable:
+    """Compile a boolean expression, mapping NULL (UNKNOWN) to False."""
+    inner = compile_expr(expr, schema)
+
+    def predicate(row) -> bool:
+        return bool(inner(row))
+
+    return predicate
+
+
+def _compile_binary(expr: BinaryOp, schema: RelSchema) -> Callable:
+    op = expr.op
+    if op in ("AND", "OR"):
+        left = compile_expr(expr.left, schema)
+        right = compile_expr(expr.right, schema)
+        if op == "AND":
+            def evaluate_and(row):
+                lhs = left(row)
+                if lhs is False:
+                    return False
+                rhs = right(row)
+                if rhs is False:
+                    return False
+                if lhs is None or rhs is None:
+                    return None
+                return bool(lhs) and bool(rhs)
+
+            return evaluate_and
+
+        def evaluate_or(row):
+            lhs = left(row)
+            if lhs is True or (lhs is not None and lhs):
+                return True
+            rhs = right(row)
+            if rhs is not None and rhs:
+                return True
+            if lhs is None or rhs is None:
+                return None
+            return False
+
+        return evaluate_or
+
+    left = compile_expr(expr.left, schema)
+    right = compile_expr(expr.right, schema)
+
+    if op in _COMPARATORS:
+        compare = _COMPARATORS[op]
+
+        def evaluate_cmp(row):
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            lhs, rhs = _align_numeric(lhs, rhs)
+            try:
+                return compare(lhs, rhs)
+            except TypeError as exc:
+                raise TypeMismatchError(
+                    f"cannot compare {lhs!r} with {rhs!r}"
+                ) from exc
+
+        return evaluate_cmp
+
+    if op == "||":
+        def evaluate_concat(row):
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            return str(lhs) + str(rhs)
+
+        return evaluate_concat
+
+    if op == "/":
+        def evaluate_div(row):
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            if rhs == 0:
+                return None  # SQL engines vary; we take the forgiving path
+            result = lhs / rhs
+            return result
+
+        return evaluate_div
+
+    if op in _ARITHMETIC:
+        arith = _ARITHMETIC[op]
+
+        def evaluate_arith(row):
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            try:
+                return arith(lhs, rhs)
+            except TypeError as exc:
+                raise TypeMismatchError(
+                    f"bad operands for {op}: {lhs!r}, {rhs!r}"
+                ) from exc
+
+        return evaluate_arith
+
+    raise PlanError(f"unknown binary operator {op!r}")
+
+
+def _values_equal(a, b) -> bool:
+    a, b = _align_numeric(a, b)
+    try:
+        return a == b
+    except TypeError:
+        return False
+
+
+def _align_numeric(a, b):
+    """Allow int/float cross-comparison while keeping bool distinct."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a, b
+    if isinstance(a, int) and isinstance(b, float):
+        return float(a), b
+    if isinstance(a, float) and isinstance(b, int):
+        return a, float(b)
+    return a, b
+
+
+@lru_cache(maxsize=512)
+def _like_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern to an anchored regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out) + r"\Z", re.DOTALL)

@@ -1,0 +1,198 @@
+"""Expression-tree utilities used by the optimizer and the federation layer.
+
+Expressions are immutable, so every rewrite returns a fresh tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+    and_all,
+)
+from repro.sql.functions import is_aggregate_name
+
+
+def children(expr: Expr) -> list[Expr]:
+    """Direct child expressions of a node."""
+    if isinstance(expr, BinaryOp):
+        return [expr.left, expr.right]
+    if isinstance(expr, UnaryOp):
+        return [expr.operand]
+    if isinstance(expr, FuncCall):
+        return list(expr.args)
+    if isinstance(expr, IsNull):
+        return [expr.operand]
+    if isinstance(expr, InList):
+        return [expr.operand, *expr.items]
+    if isinstance(expr, Like):
+        return [expr.operand, expr.pattern]
+    if isinstance(expr, Between):
+        return [expr.operand, expr.low, expr.high]
+    if isinstance(expr, CaseWhen):
+        out: list[Expr] = []
+        for cond, value in expr.whens:
+            out.extend((cond, value))
+        if expr.default is not None:
+            out.append(expr.default)
+        return out
+    return []
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Pre-order traversal of the expression tree."""
+    yield expr
+    for child in children(expr):
+        yield from walk(child)
+
+
+def column_refs(expr: Expr) -> list[ColumnRef]:
+    """All column references in the expression, in traversal order."""
+    return [node for node in walk(expr) if isinstance(node, ColumnRef)]
+
+
+def referenced_qualifiers(expr: Expr) -> set[str]:
+    """The set of table bindings (qualifiers) the expression touches.
+
+    Unqualified references yield an empty-string marker so callers know the
+    expression has references they cannot attribute to a single table.
+    """
+    out: set[str] = set()
+    for ref in column_refs(expr):
+        out.add(ref.qualifier or "")
+    for node in walk(expr):
+        if isinstance(node, Star):
+            out.add(node.qualifier or "")
+    return out
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    return any(
+        isinstance(node, FuncCall) and is_aggregate_name(node.name)
+        for node in walk(expr)
+    )
+
+
+def split_conjuncts(expr: Optional[Expr]) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Iterable[Expr]) -> Optional[Expr]:
+    """Inverse of `split_conjuncts`; returns None for no conjuncts."""
+    return and_all(list(conjuncts))
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Bottom-up rewrite: `fn` may return a replacement node or None to keep.
+
+    Children are rewritten first so `fn` sees already-rewritten subtrees.
+    """
+    if isinstance(expr, BinaryOp):
+        rebuilt: Expr = BinaryOp(expr.op, transform(expr.left, fn), transform(expr.right, fn))
+    elif isinstance(expr, UnaryOp):
+        rebuilt = UnaryOp(expr.op, transform(expr.operand, fn))
+    elif isinstance(expr, FuncCall):
+        rebuilt = FuncCall(expr.name, tuple(transform(a, fn) for a in expr.args), expr.distinct)
+    elif isinstance(expr, IsNull):
+        rebuilt = IsNull(transform(expr.operand, fn), expr.negated)
+    elif isinstance(expr, InList):
+        rebuilt = InList(
+            transform(expr.operand, fn),
+            tuple(transform(i, fn) for i in expr.items),
+            expr.negated,
+        )
+    elif isinstance(expr, Like):
+        rebuilt = Like(transform(expr.operand, fn), transform(expr.pattern, fn), expr.negated)
+    elif isinstance(expr, Between):
+        rebuilt = Between(
+            transform(expr.operand, fn),
+            transform(expr.low, fn),
+            transform(expr.high, fn),
+            expr.negated,
+        )
+    elif isinstance(expr, CaseWhen):
+        rebuilt = CaseWhen(
+            tuple((transform(c, fn), transform(v, fn)) for c, v in expr.whens),
+            transform(expr.default, fn) if expr.default is not None else None,
+        )
+    else:
+        rebuilt = expr
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def substitute_columns(expr: Expr, mapping: dict) -> Expr:
+    """Replace ColumnRefs per `mapping`.
+
+    Keys may be `ColumnRef`s or `(qualifier, name)` tuples (lower-cased
+    name/qualifier); values are replacement expressions. Used for view
+    unfolding and GAV reformulation.
+    """
+
+    def rewrite(node: Expr) -> Optional[Expr]:
+        if not isinstance(node, ColumnRef):
+            return None
+        direct = mapping.get(node)
+        if direct is not None:
+            return direct
+        key = (
+            (node.qualifier or "").lower(),
+            node.name.lower(),
+        )
+        return mapping.get(key)
+
+    return transform(expr, rewrite)
+
+
+def requalify(expr: Expr, old: Optional[str], new: Optional[str]) -> Expr:
+    """Rewrite qualifiers equal to `old` (case-insensitive) to `new`."""
+
+    def rewrite(node: Expr) -> Optional[Expr]:
+        if isinstance(node, ColumnRef):
+            node_q = (node.qualifier or "").lower()
+            if node_q == (old or "").lower():
+                return ColumnRef(node.name, new)
+        return None
+
+    return transform(expr, rewrite)
+
+
+def is_literal_comparison(expr: Expr) -> bool:
+    """True for `col <op> literal` / `literal <op> col` shapes."""
+    if not isinstance(expr, BinaryOp):
+        return False
+    if expr.op not in ("=", "<>", "<", "<=", ">", ">="):
+        return False
+    pair = (expr.left, expr.right)
+    has_col = any(isinstance(side, ColumnRef) for side in pair)
+    has_lit = any(isinstance(side, Literal) for side in pair)
+    return has_col and has_lit
+
+
+def equi_join_sides(expr: Expr) -> Optional[tuple[ColumnRef, ColumnRef]]:
+    """Return (left_col, right_col) if the expression is `col = col`."""
+    if (
+        isinstance(expr, BinaryOp)
+        and expr.op == "="
+        and isinstance(expr.left, ColumnRef)
+        and isinstance(expr.right, ColumnRef)
+    ):
+        return expr.left, expr.right
+    return None

@@ -1,0 +1,119 @@
+"""Hand-rolled SQL lexer.
+
+Produces a flat list of `Token`s; the parser indexes into it. Keywords are
+case-insensitive; identifiers preserve their original case. String literals
+use single quotes with `''` as the escape for a literal quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
+    "JOIN", "INNER", "LEFT", "OUTER", "ON", "ASC", "DESC", "CASE", "WHEN",
+    "THEN", "ELSE", "END", "TRUE", "FALSE", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "UNION", "ALL", "CROSS",
+}
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPS = "=<>+-*/%(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    value: object
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in words
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "OP" and self.value in ops
+
+    def __str__(self):
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex `text` into tokens, ending with an EOF token."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):  # line comment
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            value, i = _lex_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            value, i = _lex_number(text, i)
+            tokens.append(Token("NUMBER", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, start))
+            else:
+                tokens.append(Token("IDENT", word, start))
+            continue
+        two = text[i : i + 2]
+        if two in _TWO_CHAR_OPS:
+            canonical = "<>" if two == "!=" else two
+            tokens.append(Token("OP", canonical, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", position=i, text=text)
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _lex_string(text: str, start: int) -> tuple[str, int]:
+    i = start + 1
+    parts: list[str] = []
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "'":
+            if i + 1 < n and text[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise ParseError("unterminated string literal", position=start, text=text)
+
+
+def _lex_number(text: str, start: int):
+    i = start
+    n = len(text)
+    seen_dot = False
+    while i < n and (text[i].isdigit() or (text[i] == "." and not seen_dot)):
+        if text[i] == ".":
+            # `1.` followed by a non-digit is "1" then ".": stop before the dot.
+            if i + 1 >= n or not text[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    raw = text[start:i]
+    value = float(raw) if seen_dot else int(raw)
+    return value, i

@@ -1,0 +1,36 @@
+"""Relational storage substrate.
+
+This is the stand-in for the commercial RDBMSs that real EII deployments
+federate over. It provides typed heap tables with primary keys, secondary
+hash and sorted indexes, per-column statistics (distinct counts, min/max,
+equi-depth histograms) for the cost-based optimizer, a catalog grouping
+tables into a `Database`, coarse-grained transactions with undo-based
+rollback, and CSV/JSON import/export for fixtures and ETL staging.
+"""
+
+from repro.storage.table import Table
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.stats import ColumnStats, TableStats
+from repro.storage.catalog import Catalog, Database
+from repro.storage.io import (
+    load_csv,
+    relation_from_rows,
+    save_csv,
+    table_from_csv,
+    table_from_rows,
+)
+
+__all__ = [
+    "Catalog",
+    "ColumnStats",
+    "Database",
+    "HashIndex",
+    "SortedIndex",
+    "Table",
+    "TableStats",
+    "load_csv",
+    "relation_from_rows",
+    "save_csv",
+    "table_from_csv",
+    "table_from_rows",
+]

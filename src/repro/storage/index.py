@@ -1,0 +1,107 @@
+"""Secondary indexes over heap tables.
+
+Indexes map key values to row ids (positions in the table's heap list).
+Deleted slots hold None in the heap; indexes are kept in sync by the owning
+`Table` on every mutation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, Optional
+
+
+class HashIndex:
+    """Equality index: key value -> set of row ids. O(1) point lookups."""
+
+    def __init__(self, column: str):
+        self.column = column
+        self._buckets: dict = {}
+
+    def insert(self, key, rid: int) -> None:
+        self._buckets.setdefault(key, set()).add(rid)
+
+    def remove(self, key, rid: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(rid)
+        if not bucket:
+            del self._buckets[key]
+
+    def lookup(self, key) -> set[int]:
+        return set(self._buckets.get(key, ()))
+
+    def keys(self) -> Iterator:
+        return iter(self._buckets)
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """Order-preserving index supporting range scans.
+
+    Backed by a sorted list of (key, rid) pairs. Inserts are O(n) worst case
+    (list insert), which is fine at the scales the benchmarks use; lookups
+    and range scans are O(log n + k). NULL keys are not indexed (SQL-style).
+    """
+
+    def __init__(self, column: str):
+        self.column = column
+        self._entries: list[tuple] = []  # sorted by (key, rid)
+
+    def insert(self, key, rid: int) -> None:
+        if key is None:
+            return
+        bisect.insort(self._entries, (key, rid))
+
+    def remove(self, key, rid: int) -> None:
+        if key is None:
+            return
+        pos = bisect.bisect_left(self._entries, (key, rid))
+        if pos < len(self._entries) and self._entries[pos] == (key, rid):
+            del self._entries[pos]
+
+    def lookup(self, key) -> set[int]:
+        if key is None:
+            return set()
+        lo = bisect.bisect_left(self._entries, (key,))
+        out = set()
+        for entry_key, rid in self._entries[lo:]:
+            if entry_key != key:
+                break
+            out.add(rid)
+        return out
+
+    def range(
+        self,
+        low=None,
+        high=None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[int]:
+        """Row ids with low <= key <= high (bounds optional), in key order."""
+        if low is None:
+            start = 0
+        else:
+            start = bisect.bisect_left(self._entries, (low,))
+            if not include_low:
+                while start < len(self._entries) and self._entries[start][0] == low:
+                    start += 1
+        out = []
+        for key, rid in self._entries[start:]:
+            if high is not None:
+                if key > high or (key == high and not include_high):
+                    break
+            out.append(rid)
+        return out
+
+    def min_key(self):
+        return self._entries[0][0] if self._entries else None
+
+    def max_key(self):
+        return self._entries[-1][0] if self._entries else None
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,80 @@
+"""CSV/JSON import-export and small relation-building helpers."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.common.relation import Relation
+from repro.common.schema import Column, RelSchema
+from repro.common.types import DataType, coerce_value
+from repro.storage.table import Table
+
+
+def relation_from_rows(
+    columns: Sequence[tuple], rows: Iterable[Sequence], qualifier: Optional[str] = None
+) -> Relation:
+    """Build a Relation from `(name, dtype)` specs and raw rows."""
+    schema = RelSchema(Column(name, dtype, qualifier) for name, dtype in columns)
+    coerced = [
+        tuple(coerce_value(value, column.dtype) for value, column in zip(row, schema))
+        for row in rows
+    ]
+    return Relation(schema, coerced)
+
+
+def table_from_rows(
+    name: str,
+    columns: Sequence[tuple],
+    rows: Iterable[Sequence],
+    primary_key: Optional[Sequence[str]] = None,
+) -> Table:
+    return Table.build(name, columns, rows, primary_key)
+
+
+def load_csv(
+    path, columns: Sequence[tuple], has_header: bool = True
+) -> list[tuple]:
+    """Load typed rows from a CSV file; empty cells become NULL."""
+    dtypes = [dtype for _, dtype in columns]
+    out: list[tuple] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        if has_header:
+            next(reader, None)
+        for raw in reader:
+            row = tuple(
+                None if cell == "" else coerce_value(cell, dtype)
+                for cell, dtype in zip(raw, dtypes)
+            )
+            out.append(row)
+    return out
+
+
+def table_from_csv(
+    name: str,
+    path,
+    columns: Sequence[tuple],
+    primary_key: Optional[Sequence[str]] = None,
+    has_header: bool = True,
+) -> Table:
+    return table_from_rows(name, columns, load_csv(path, columns, has_header), primary_key)
+
+
+def save_csv(path, relation: Relation) -> None:
+    """Write a relation as CSV with a header of bare column names."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation.rows:
+            writer.writerow(["" if value is None else value for value in row])
+
+
+def save_json(path, relation: Relation) -> None:
+    """Write a relation as a JSON list of name-keyed objects."""
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(relation.to_dicts(), handle, default=str, indent=2)

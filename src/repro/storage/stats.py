@@ -1,0 +1,188 @@
+"""Table and column statistics for cost-based optimization.
+
+`TableStats.collect` computes, per column: null fraction, number of distinct
+values, min/max for orderable types, and an equi-depth histogram. The
+selectivity estimators follow the classical System-R conventions with
+histogram refinement where one is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.25
+HISTOGRAM_BUCKETS = 16
+
+
+@dataclass
+class Histogram:
+    """Equi-depth histogram: bucket boundaries plus per-bucket row count."""
+
+    boundaries: list  # len == buckets + 1; boundaries[i] <= bucket i < boundaries[i+1]
+    counts: list
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def fraction_below(self, value) -> float:
+        """Estimated fraction of (non-null) values strictly below `value`."""
+        if not self.counts or self.total == 0:
+            return DEFAULT_RANGE_SELECTIVITY
+        below = 0.0
+        for i, count in enumerate(self.counts):
+            low, high = self.boundaries[i], self.boundaries[i + 1]
+            if value <= low:
+                break
+            if value >= high:
+                below += count
+                continue
+            # partial bucket: linear interpolation where the domain allows it
+            try:
+                span = high - low
+                fraction = (value - low) / span if span else 0.5
+            except TypeError:
+                fraction = 0.5
+            below += count * fraction
+            break
+        return min(max(below / self.total, 0.0), 1.0)
+
+
+@dataclass
+class ColumnStats:
+    name: str
+    null_fraction: float = 0.0
+    distinct: int = 1
+    min_value: object = None
+    max_value: object = None
+    histogram: Optional[Histogram] = None
+
+    def eq_selectivity(self, value=None) -> float:
+        """Selectivity of `col = value` (value optional)."""
+        if self.distinct <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        base = (1.0 - self.null_fraction) / self.distinct
+        if value is not None and self.min_value is not None:
+            try:
+                if value < self.min_value or value > self.max_value:
+                    return 0.0
+            except TypeError:
+                pass
+        return min(base, 1.0)
+
+    def range_selectivity(self, op: str, value) -> float:
+        """Selectivity of `col <op> value` for <, <=, >, >=."""
+        if self.histogram is not None and value is not None:
+            below = self.histogram.fraction_below(value)
+            at = self.eq_selectivity(value)
+            if op == "<":
+                sel = below
+            elif op == "<=":
+                sel = below + at
+            elif op == ">":
+                sel = 1.0 - below - at
+            else:  # >=
+                sel = 1.0 - below
+            return min(max(sel * (1.0 - self.null_fraction), 0.0), 1.0)
+        return DEFAULT_RANGE_SELECTIVITY
+
+
+@dataclass
+class TableStats:
+    row_count: int = 0
+    columns: dict = field(default_factory=dict)  # name(lower) -> ColumnStats
+    avg_row_bytes: int = 64
+
+    @classmethod
+    def collect(cls, schema, rows: Sequence[tuple]) -> "TableStats":
+        """Compute full statistics over materialized rows."""
+        from repro.common.types import row_size
+
+        stats = cls(row_count=len(rows))
+        if rows:
+            sampled = rows[:: max(len(rows) // 1000, 1)] or rows
+            stats.avg_row_bytes = max(
+                sum(row_size(row) for row in sampled) // len(sampled), 1
+            )
+        for position, column in enumerate(schema):
+            values = [row[position] for row in rows]
+            stats.columns[column.name.lower()] = _column_stats(column.name, values)
+        return stats
+
+    def column(self, name: str) -> Optional[ColumnStats]:
+        return self.columns.get(name.lower())
+
+    def scaled(self, factor: float) -> "TableStats":
+        """Stats for a filtered subset (used to propagate cardinalities)."""
+        scaled = TableStats(
+            row_count=max(int(self.row_count * factor), 0),
+            avg_row_bytes=self.avg_row_bytes,
+        )
+        for name, col in self.columns.items():
+            scaled.columns[name] = ColumnStats(
+                name=col.name,
+                null_fraction=col.null_fraction,
+                distinct=max(min(col.distinct, scaled.row_count), 1),
+                min_value=col.min_value,
+                max_value=col.max_value,
+                histogram=col.histogram,
+            )
+        return scaled
+
+
+def _column_stats(name: str, values: list) -> ColumnStats:
+    total = len(values)
+    if total == 0:
+        return ColumnStats(name=name)
+    non_null = [value for value in values if value is not None]
+    null_fraction = 1.0 - len(non_null) / total
+    try:
+        distinct = len(set(non_null))
+    except TypeError:
+        distinct = max(len(non_null) // 2, 1)
+    stats = ColumnStats(
+        name=name,
+        null_fraction=null_fraction,
+        distinct=max(distinct, 1),
+    )
+    orderable = _orderable(non_null)
+    if orderable:
+        ordered = sorted(non_null)
+        stats.min_value = ordered[0]
+        stats.max_value = ordered[-1]
+        stats.histogram = _equi_depth(ordered)
+    return stats
+
+
+def _orderable(values: list) -> bool:
+    if not values:
+        return False
+    first_type = type(values[0])
+    if all(isinstance(value, (int, float)) and not isinstance(value, bool) for value in values):
+        return True
+    return all(isinstance(value, first_type) for value in values) and first_type is not bool
+
+
+def _equi_depth(ordered: list, buckets: int = HISTOGRAM_BUCKETS) -> Histogram:
+    n = len(ordered)
+    buckets = min(buckets, n) or 1
+    boundaries = [ordered[0]]
+    counts = []
+    step = n / buckets
+    start = 0
+    for b in range(buckets):
+        end = int(round((b + 1) * step))
+        end = max(end, start + 1)
+        end = min(end, n)
+        counts.append(end - start)
+        boundaries.append(ordered[end - 1] if end == n else ordered[end])
+        start = end
+        if start >= n:
+            break
+    # Drop empty trailing buckets introduced by rounding.
+    counts = [c for c in counts if c > 0]
+    boundaries = boundaries[: len(counts) + 1]
+    return Histogram(boundaries=boundaries, counts=counts)

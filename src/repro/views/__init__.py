@@ -1,0 +1,25 @@
+"""View management: virtual views, materialized views and refresh policies.
+
+Draper's §5 names two features that made Nimble usable in the field and
+which "pure" EII lacks: views as the central factoring metaphor, and a
+materialized-view capability that let administrators "choose whether she
+wanted live data for a particular view or not" — a light-weight ETL
+system. `ViewManager` provides both over a federated engine, plus the
+staleness bookkeeping the advisor (E1/E5/E14) measures.
+"""
+
+from repro.views.manager import MaterializedView, RefreshPolicy, ViewManager
+from repro.views.invalidation import (
+    ChangeNotifier,
+    table_dependencies,
+    wire_invalidation,
+)
+
+__all__ = [
+    "ChangeNotifier",
+    "MaterializedView",
+    "RefreshPolicy",
+    "ViewManager",
+    "table_dependencies",
+    "wire_invalidation",
+]

@@ -1,0 +1,159 @@
+"""Virtual and materialized views over a federated engine."""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.common.errors import SchemaError
+from repro.common.relation import Relation
+
+
+class RefreshPolicy(enum.Enum):
+    """When a materialized view's contents are recomputed."""
+
+    MANUAL = "manual"  # only on explicit refresh()
+    INTERVAL = "interval"  # refresh when older than `interval_s`
+    ON_QUERY = "on_query"  # always recompute on read (live data)
+
+
+@dataclass
+class MaterializedView:
+    """One materialized view instance plus its freshness bookkeeping."""
+
+    name: str
+    sql: str
+    policy: RefreshPolicy
+    interval_s: float = 60.0
+    data: Optional[Relation] = None
+    refreshed_at: Optional[float] = None
+    refresh_count: int = 0
+    serve_count: int = 0
+    #: set by change-notification wiring; cleared on refresh
+    dirty: bool = False
+    #: cumulative simulated seconds spent refreshing (the "ETL cost")
+    refresh_seconds: float = 0.0
+
+    def staleness(self, now: Optional[float] = None) -> float:
+        """Seconds since the last refresh (inf if never refreshed)."""
+        if self.refreshed_at is None:
+            return float("inf")
+        return max((now if now is not None else time.time()) - self.refreshed_at, 0.0)
+
+
+class ViewManager:
+    """Registry of virtual and materialized views over one federated engine.
+
+    A *virtual* view re-executes its query on every read (live data, full
+    federation cost each time). A *materialized* view serves stored rows
+    and refreshes per its policy. `clock` is injectable so benchmarks can
+    drive simulated time deterministically.
+    """
+
+    def __init__(self, engine, clock=time.time):
+        self.engine = engine
+        self.clock = clock
+        self._virtual: dict[str, str] = {}
+        self._materialized: dict[str, MaterializedView] = {}
+
+    # -- definition ---------------------------------------------------------------
+
+    def define_virtual(self, name: str, sql: str) -> None:
+        self._check_free(name)
+        self._virtual[name.lower()] = sql
+
+    def define_materialized(
+        self,
+        name: str,
+        sql: str,
+        policy: RefreshPolicy = RefreshPolicy.MANUAL,
+        interval_s: float = 60.0,
+        refresh_now: bool = True,
+    ) -> MaterializedView:
+        self._check_free(name)
+        view = MaterializedView(name, sql, policy, interval_s)
+        self._materialized[name.lower()] = view
+        if refresh_now:
+            self.refresh(name)
+        return view
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key in self._virtual:
+            del self._virtual[key]
+        elif key in self._materialized:
+            del self._materialized[key]
+        else:
+            raise SchemaError(f"no view {name!r}")
+
+    def names(self) -> list[str]:
+        return sorted(list(self._virtual) + list(self._materialized))
+
+    def view(self, name: str) -> MaterializedView:
+        view = self._materialized.get(name.lower())
+        if view is None:
+            raise SchemaError(f"no materialized view {name!r}")
+        return view
+
+    # -- reads ---------------------------------------------------------------------
+
+    def read(self, name: str) -> Relation:
+        """Read a view, refreshing a materialized one per its policy."""
+        key = name.lower()
+        if key in self._virtual:
+            return self._run(self._virtual[key])
+        view = self.view(name)
+        view.serve_count += 1
+        if view.policy is RefreshPolicy.ON_QUERY:
+            self.refresh(name)
+        elif view.policy is RefreshPolicy.INTERVAL:
+            if view.staleness(self.clock()) > view.interval_s:
+                self.refresh(name)
+        if view.data is None or view.dirty:
+            self.refresh(name)
+        return view.data
+
+    def read_with_staleness(self, name: str) -> tuple[Relation, float]:
+        """Read plus the staleness (0 for virtual/live reads)."""
+        key = name.lower()
+        if key in self._virtual:
+            return self._run(self._virtual[key]), 0.0
+        relation = self.read(name)
+        return relation, self.view(name).staleness(self.clock())
+
+    # -- refresh ----------------------------------------------------------------------
+
+    def refresh(self, name: str) -> MaterializedView:
+        """Recompute a materialized view now."""
+        view = self.view(name)
+        result = self._query(view.sql)
+        view.data = result.relation if hasattr(result, "relation") else result
+        view.refreshed_at = self.clock()
+        view.refresh_count += 1
+        view.refresh_seconds += getattr(result, "elapsed_seconds", 0.0)
+        view.dirty = False
+        return view
+
+    def mark_dirty(self, name: str) -> None:
+        """Flag a view stale; the next read refreshes it (see invalidation)."""
+        self.view(name).dirty = True
+
+    def refresh_all(self) -> None:
+        for name in list(self._materialized):
+            self.refresh(name)
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _check_free(self, name: str) -> None:
+        key = name.lower()
+        if key in self._virtual or key in self._materialized:
+            raise SchemaError(f"view {name!r} already defined")
+
+    def _query(self, sql: str):
+        return self.engine.query(sql)
+
+    def _run(self, sql: str) -> Relation:
+        result = self._query(sql)
+        return result.relation if hasattr(result, "relation") else result

@@ -1,0 +1,37 @@
+"""Data warehouse + ETL: the technology EII is measured against.
+
+Bitton's §3 argues EII "will not replace the data warehouse"; the advisor
+experiments (E1, E5, E14) need a real ETL baseline to compare against. This
+package implements it end-to-end: extractors pull relations out of sources,
+a transform pipeline cleans and conforms them, loaders fill dimension and
+fact tables (surrogate keys, SCD type 1), and `Warehouse` tracks refresh
+cost and staleness so the cost model has real numbers.
+"""
+
+from repro.warehouse.etl import (
+    EtlJob,
+    EtlRunStats,
+    Warehouse,
+    clean_strings,
+    dedupe_on,
+    drop_nulls,
+    filter_rows,
+    map_rows,
+    rename_columns,
+)
+from repro.warehouse.star import DimensionTable, FactTable, StarSchema
+
+__all__ = [
+    "DimensionTable",
+    "EtlJob",
+    "EtlRunStats",
+    "FactTable",
+    "StarSchema",
+    "Warehouse",
+    "clean_strings",
+    "dedupe_on",
+    "drop_nulls",
+    "filter_rows",
+    "map_rows",
+    "rename_columns",
+]

@@ -1,0 +1,132 @@
+"""Star schemas: dimensions with surrogate keys, facts, conformed dimensions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.common.errors import EIIError
+from repro.common.relation import Relation
+from repro.common.types import DataType
+from repro.storage.catalog import Database
+
+
+class DimensionTable:
+    """A dimension with generated surrogate keys and SCD type-1 updates.
+
+    Schema: `(sk INT, natural_key, attr...)`. `upsert` returns the surrogate
+    key for a natural key, inserting or overwriting attributes in place
+    (type 1: history is not kept — Bitton's "persist data to keep history"
+    guideline is about fact tables, exercised in the advisor tests).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        name: str,
+        natural_key: tuple,
+        attributes: Sequence[tuple],
+    ):
+        columns = [("sk", DataType.INT), natural_key] + list(attributes)
+        self.table = db.create_table(name, columns, primary_key=["sk"])
+        self.name = name
+        self._next_sk = 1
+        self._sk_by_natural: dict = {}
+
+    def upsert(self, natural_value, attributes: Sequence) -> int:
+        """Insert or update one member; returns its surrogate key."""
+        sk = self._sk_by_natural.get(natural_value)
+        if sk is None:
+            sk = self._next_sk
+            self._next_sk += 1
+            self._sk_by_natural[natural_value] = sk
+            self.table.insert((sk, natural_value) + tuple(attributes))
+        else:
+            row = (sk, natural_value) + tuple(attributes)
+            self.table.update_where(
+                lambda existing: existing[0] == sk, lambda _existing: row
+            )
+        return sk
+
+    def surrogate_for(self, natural_value) -> Optional[int]:
+        return self._sk_by_natural.get(natural_value)
+
+    def members(self) -> Relation:
+        return self.table.scan()
+
+    def __len__(self):
+        return len(self.table)
+
+
+class FactTable:
+    """A fact table whose foreign keys are dimension surrogate keys."""
+
+    def __init__(
+        self,
+        db: Database,
+        name: str,
+        dimension_keys: Sequence[str],
+        measures: Sequence[tuple],
+    ):
+        columns = [(key, DataType.INT) for key in dimension_keys] + list(measures)
+        self.table = db.create_table(name, columns)
+        self.name = name
+        self.dimension_keys = list(dimension_keys)
+
+    def load(self, rows) -> int:
+        return self.table.insert_many(rows)
+
+    def clear(self) -> None:
+        self.table.clear()
+
+    def __len__(self):
+        return len(self.table)
+
+
+@dataclass
+class StarSchema:
+    """A named set of dimensions around fact tables, in one warehouse DB.
+
+    A dimension registered here can be attached to several fact tables —
+    that is a *conformed dimension*, which Bitton's virtualization
+    guideline 1 suggests sharing (virtually) across marts instead of
+    copying. The advisor experiments probe exactly that choice.
+    """
+
+    db: Database
+    dimensions: dict = field(default_factory=dict)
+    facts: dict = field(default_factory=dict)
+
+    def add_dimension(
+        self, name: str, natural_key: tuple, attributes: Sequence[tuple]
+    ) -> DimensionTable:
+        if name in self.dimensions:
+            raise EIIError(f"dimension {name!r} already exists")
+        dim = DimensionTable(self.db, name, natural_key, attributes)
+        self.dimensions[name] = dim
+        return dim
+
+    def add_fact(
+        self, name: str, dimension_names: Sequence[str], measures: Sequence[tuple]
+    ) -> FactTable:
+        if name in self.facts:
+            raise EIIError(f"fact table {name!r} already exists")
+        for dim_name in dimension_names:
+            if dim_name not in self.dimensions:
+                raise EIIError(f"unknown dimension {dim_name!r}")
+        keys = [f"{dim_name}_sk" for dim_name in dimension_names]
+        fact = FactTable(self.db, name, keys, measures)
+        self.facts[name] = fact
+        return fact
+
+    def dimension(self, name: str) -> DimensionTable:
+        dim = self.dimensions.get(name)
+        if dim is None:
+            raise EIIError(f"unknown dimension {name!r}")
+        return dim
+
+    def fact(self, name: str) -> FactTable:
+        fact = self.facts.get(name)
+        if fact is None:
+            raise EIIError(f"unknown fact table {name!r}")
+        return fact

@@ -1,0 +1,126 @@
+"""Dialect descriptions: what each backend can evaluate, and how to spell it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.printer import PrintOptions
+
+#: Predicate form identifiers used in `supported_predicates`.
+PRED_COMPARISON = "comparison"
+PRED_LIKE = "like"
+PRED_IN = "in"
+PRED_BETWEEN = "between"
+PRED_ISNULL = "isnull"
+PRED_CASE = "case"
+PRED_OR = "or"
+
+ALL_PREDICATES = frozenset(
+    {PRED_COMPARISON, PRED_LIKE, PRED_IN, PRED_BETWEEN, PRED_ISNULL, PRED_CASE, PRED_OR}
+)
+
+_STANDARD_FUNCTIONS = frozenset(
+    {"UPPER", "LOWER", "LENGTH", "ABS", "ROUND", "SUBSTR", "TRIM", "COALESCE"}
+)
+_ALL_FUNCTIONS = _STANDARD_FUNCTIONS | frozenset(
+    {"SUBSTRING", "CONCAT", "REPLACE", "YEAR", "MONTH", "DAY", "IFNULL", "MOD",
+     "POWER", "SQRT", "SIGN", "FLOOR", "CEIL"}
+)
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """A backend's query surface as seen by the wrapper.
+
+    `fidelity` names the wrapper generation (how much of the backend the
+    wrapper author modeled), not the backend itself: the same AcmeDB server
+    behind a GENERIC wrapper accepts far fewer pushed predicates than behind
+    a QUIRK_AWARE one — that difference is exactly experiment E3.
+    """
+
+    name: str
+    fidelity: str = "quirk_aware"
+    supported_predicates: frozenset = ALL_PREDICATES
+    supported_functions: frozenset = _ALL_FUNCTIONS
+    supports_join: bool = True
+    supports_aggregate: bool = True
+    supports_sort_limit: bool = True
+    supports_arithmetic: bool = True
+    print_options: PrintOptions = field(default_factory=PrintOptions)
+
+    def __str__(self):
+        return f"{self.name}[{self.fidelity}]"
+
+
+#: Lowest-common-denominator wrapper: only simple column-vs-literal
+#: comparisons are trusted to work everywhere; everything else is evaluated
+#: at the mediator after shipping the rows.
+GENERIC = Dialect(
+    name="generic",
+    fidelity="generic",
+    supported_predicates=frozenset({PRED_COMPARISON}),
+    supported_functions=frozenset(),
+    supports_join=False,
+    supports_aggregate=False,
+    supports_sort_limit=False,
+    supports_arithmetic=False,
+)
+
+#: A careful SQL-92 wrapper: standard predicates and functions, joins, but
+#: no vendor extensions and no aggregate pushdown (results differ across
+#: vendors in edge cases, so the wrapper author kept them local).
+CONSERVATIVE = Dialect(
+    name="conservative",
+    fidelity="conservative",
+    supported_predicates=frozenset(
+        {PRED_COMPARISON, PRED_LIKE, PRED_IN, PRED_BETWEEN, PRED_ISNULL, PRED_OR}
+    ),
+    supported_functions=_STANDARD_FUNCTIONS,
+    supports_join=True,
+    supports_aggregate=False,
+    supports_sort_limit=False,
+)
+
+#: Full knowledge of the backend: everything our engine supports pushes.
+QUIRK_AWARE = Dialect(name="quirk_aware", fidelity="quirk_aware")
+
+#: The in-package engine speaks its own SQL natively.
+NATIVE = QUIRK_AWARE
+
+# -- vendor flavors (same capability tier as QUIRK_AWARE, different spellings) --
+
+ACMEDB = Dialect(
+    name="acmedb",
+    fidelity="quirk_aware",
+    print_options=PrintOptions(
+        function_names={"SUBSTR": "SUBSTRING", "IFNULL": "ISNULL"},
+        concat_operator="+",
+        integer_booleans=True,
+    ),
+)
+
+BIZBASE = Dialect(
+    name="bizbase",
+    fidelity="quirk_aware",
+    print_options=PrintOptions(function_names={"LENGTH": "LEN", "TRIM": "LTRIM"}),
+)
+
+LEGACYSQL = Dialect(
+    name="legacysql",
+    fidelity="conservative",
+    supported_predicates=frozenset({PRED_COMPARISON, PRED_LIKE, PRED_ISNULL}),
+    supported_functions=frozenset({"UPPER", "LOWER"}),
+    supports_join=False,
+    supports_aggregate=False,
+    supports_sort_limit=False,
+    print_options=PrintOptions(integer_booleans=True),
+)
+
+
+def fidelity_levels() -> dict:
+    """The three wrapper generations compared in experiment E3."""
+    return {
+        "generic": GENERIC,
+        "conservative": CONSERVATIVE,
+        "quirk_aware": QUIRK_AWARE,
+    }

@@ -1,0 +1,136 @@
+"""Pushability analysis: can an expression / component query run at a source?"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Select,
+    Star,
+    UnaryOp,
+)
+from repro.sql.functions import is_aggregate_name
+from repro.wrappers.dialects import (
+    Dialect,
+    PRED_BETWEEN,
+    PRED_CASE,
+    PRED_COMPARISON,
+    PRED_IN,
+    PRED_ISNULL,
+    PRED_LIKE,
+    PRED_OR,
+)
+
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+_ARITH_OPS = ("+", "-", "*", "/", "%", "||")
+
+
+def unsupported_reasons(expr: Expr, dialect: Dialect) -> list[str]:
+    """Why `expr` cannot be pushed to `dialect`; empty list means pushable."""
+    reasons: list[str] = []
+    _walk(expr, dialect, reasons)
+    return reasons
+
+
+def can_push_expr(expr: Expr, dialect: Dialect) -> bool:
+    """True if the source behind `dialect` can evaluate `expr` itself."""
+    return not unsupported_reasons(expr, dialect)
+
+
+def _walk(expr: Expr, dialect: Dialect, reasons: list[str]) -> None:
+    if isinstance(expr, (Literal, ColumnRef, Star)):
+        return
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            pass
+        elif expr.op == "OR":
+            if PRED_OR not in dialect.supported_predicates:
+                reasons.append(f"{dialect}: OR not supported")
+        elif expr.op in _COMPARISON_OPS:
+            if PRED_COMPARISON not in dialect.supported_predicates:
+                reasons.append(f"{dialect}: comparison {expr.op} not supported")
+        elif expr.op in _ARITH_OPS:
+            if not dialect.supports_arithmetic:
+                reasons.append(f"{dialect}: arithmetic {expr.op} not supported")
+        else:
+            reasons.append(f"{dialect}: operator {expr.op} unknown")
+        _walk(expr.left, dialect, reasons)
+        _walk(expr.right, dialect, reasons)
+        return
+    if isinstance(expr, UnaryOp):
+        _walk(expr.operand, dialect, reasons)
+        return
+    if isinstance(expr, FuncCall):
+        if is_aggregate_name(expr.name):
+            if not dialect.supports_aggregate:
+                reasons.append(f"{dialect}: aggregate {expr.name} not supported")
+        elif expr.name not in dialect.supported_functions:
+            reasons.append(f"{dialect}: function {expr.name} not supported")
+        for arg in expr.args:
+            _walk(arg, dialect, reasons)
+        return
+    if isinstance(expr, IsNull):
+        if PRED_ISNULL not in dialect.supported_predicates:
+            reasons.append(f"{dialect}: IS NULL not supported")
+        _walk(expr.operand, dialect, reasons)
+        return
+    if isinstance(expr, InList):
+        if PRED_IN not in dialect.supported_predicates:
+            reasons.append(f"{dialect}: IN not supported")
+        _walk(expr.operand, dialect, reasons)
+        for item in expr.items:
+            _walk(item, dialect, reasons)
+        return
+    if isinstance(expr, Like):
+        if PRED_LIKE not in dialect.supported_predicates:
+            reasons.append(f"{dialect}: LIKE not supported")
+        _walk(expr.operand, dialect, reasons)
+        _walk(expr.pattern, dialect, reasons)
+        return
+    if isinstance(expr, Between):
+        if PRED_BETWEEN not in dialect.supported_predicates:
+            reasons.append(f"{dialect}: BETWEEN not supported")
+        for child in (expr.operand, expr.low, expr.high):
+            _walk(child, dialect, reasons)
+        return
+    if isinstance(expr, CaseWhen):
+        if PRED_CASE not in dialect.supported_predicates:
+            reasons.append(f"{dialect}: CASE not supported")
+        for cond, value in expr.whens:
+            _walk(cond, dialect, reasons)
+            _walk(value, dialect, reasons)
+        if expr.default is not None:
+            _walk(expr.default, dialect, reasons)
+        return
+    reasons.append(f"{dialect}: expression {type(expr).__name__} unknown")
+
+
+def can_push_select(stmt: Select, dialect: Dialect) -> bool:
+    """True if an entire component SELECT can run at the source."""
+    if len(stmt.tables()) > 1 and not dialect.supports_join:
+        return False
+    if (stmt.group_by or stmt.having is not None) and not dialect.supports_aggregate:
+        return False
+    if (stmt.order_by or stmt.limit is not None) and not dialect.supports_sort_limit:
+        return False
+    exprs: list[Expr] = [item.expr for item in stmt.items]
+    if stmt.where is not None:
+        exprs.append(stmt.where)
+    exprs.extend(stmt.group_by)
+    if stmt.having is not None:
+        exprs.append(stmt.having)
+    exprs.extend(order.expr for order in stmt.order_by)
+    for join in stmt.joins:
+        if join.condition is not None:
+            exprs.append(join.condition)
+    return all(can_push_expr(expr, dialect) for expr in exprs)

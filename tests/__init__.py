@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Several test modules import shared fixtures as `tests.conftest` /
+`tests.federation_fixtures`; this file makes that work under the bare
+`pytest` entry point (which, unlike `python -m pytest`, does not put the
+working directory on sys.path).
+"""

@@ -1,0 +1,54 @@
+"""Shared fixtures: a small deterministic enterprise database."""
+
+import pytest
+
+from repro.common.types import DataType as T
+from repro.storage import Database
+
+
+def build_demo_db() -> Database:
+    """Customers/orders/support fixture used across engine and federation tests."""
+    db = Database("demo")
+    customers = db.create_table(
+        "customers",
+        [("id", T.INT), ("name", T.STRING), ("city", T.STRING), ("segment", T.STRING)],
+        primary_key=["id"],
+    )
+    orders = db.create_table(
+        "orders",
+        [
+            ("id", T.INT),
+            ("cust_id", T.INT),
+            ("total", T.FLOAT),
+            ("status", T.STRING),
+        ],
+        primary_key=["id"],
+    )
+    tickets = db.create_table(
+        "tickets",
+        [("id", T.INT), ("cust_id", T.INT), ("severity", T.INT), ("open", T.BOOL)],
+        primary_key=["id"],
+    )
+    cities = ["SF", "NY", "LA", "CHI"]
+    segments = ["enterprise", "smb"]
+    for i in range(1, 21):
+        customers.insert((i, f"cust{i:02d}", cities[i % 4], segments[i % 2]))
+    for i in range(1, 101):
+        orders.insert(
+            (i, (i % 20) + 1, float(i * 7 % 400) + 5.0, "open" if i % 3 else "closed")
+        )
+    for i in range(1, 31):
+        tickets.insert((i, (i % 10) + 1, (i % 4) + 1, i % 2 == 0))
+    return db
+
+
+@pytest.fixture
+def demo_db():
+    return build_demo_db()
+
+
+@pytest.fixture
+def engine(demo_db):
+    from repro.engine import LocalEngine
+
+    return LocalEngine(demo_db)

@@ -1,0 +1,56 @@
+"""Reusable multi-source federation fixture (the smoke-test enterprise)."""
+
+from repro.common.types import DataType as T
+from repro.federation import FederatedEngine, FederationCatalog
+from repro.sources import CsvSource, RelationalSource, WebServiceSource
+from repro.storage import Database
+from repro.wrappers import QUIRK_AWARE
+
+
+def build_catalog(crm_dialect=QUIRK_AWARE, sales_dialect=QUIRK_AWARE):
+    """Four sources: two DBMSs, one spreadsheet, one keyed web service."""
+    crm = Database("crm")
+    crm.create_table(
+        "customers",
+        [("id", T.INT), ("name", T.STRING), ("city", T.STRING)],
+        primary_key=["id"],
+    )
+    for i in range(1, 9):
+        crm.table("customers").insert((i, f"cust{i}", "SF" if i % 2 else "NY"))
+
+    sales = Database("sales")
+    sales.create_table(
+        "orders",
+        [("id", T.INT), ("cust_id", T.INT), ("total", T.FLOAT), ("status", T.STRING)],
+        primary_key=["id"],
+    )
+    for i in range(1, 41):
+        sales.table("orders").insert(
+            (i, (i % 8) + 1, i * 3.5, "open" if i % 2 else "closed")
+        )
+
+    files = CsvSource("files")
+    files.add_table(
+        "regions",
+        [("city", T.STRING), ("region", T.STRING)],
+        [("SF", "west"), ("NY", "east")],
+    )
+
+    credit = WebServiceSource(
+        "creditsvc",
+        "credit",
+        [("cust_id", T.INT), ("score", T.INT)],
+        "cust_id",
+        rows=[(i, 600 + i * 10) for i in range(1, 9)],
+    )
+
+    catalog = FederationCatalog()
+    catalog.register_source(RelationalSource("crm", crm, dialect=crm_dialect))
+    catalog.register_source(RelationalSource("sales", sales, dialect=sales_dialect))
+    catalog.register_source(files)
+    catalog.register_source(credit)
+    return catalog
+
+
+def build_engine(**kwargs) -> FederatedEngine:
+    return FederatedEngine(build_catalog(), **kwargs)

@@ -1,0 +1,109 @@
+"""Advisor tests: Bitton's guidelines as rules plus the cost crossover."""
+
+import pytest
+
+from repro.advisor import CostParameters, PersistenceAdvisor, WorkloadProfile
+
+
+def profile(**overrides) -> WorkloadProfile:
+    base = dict(
+        name="test",
+        queries_per_day=100.0,
+        freshness_requirement_s=86_400.0,
+        rows_touched=10_000.0,
+        rows_to_copy=100_000.0,
+    )
+    base.update(overrides)
+    return WorkloadProfile(**base)
+
+
+class TestGuidelineRules:
+    def test_p1_history(self):
+        rec = PersistenceAdvisor().decide(profile(history_required=True))
+        assert rec.choice == "warehouse"
+        assert rec.rule.startswith("P1")
+
+    def test_p2_access_denied(self):
+        rec = PersistenceAdvisor().decide(profile(source_access_allowed=False))
+        assert rec.choice == "warehouse"
+        assert rec.rule.startswith("P2")
+
+    def test_persistence_rules_beat_virtualization_rules(self):
+        # paper: virtualization guidelines apply only if no persistence rule does
+        rec = PersistenceAdvisor().decide(
+            profile(history_required=True, one_time_or_prototype=True)
+        )
+        assert rec.choice == "warehouse"
+
+    def test_v1_cross_warehouse(self):
+        rec = PersistenceAdvisor().decide(profile(crosses_warehouse_boundary=True))
+        assert rec.choice == "eii"
+        assert rec.rule.startswith("V1")
+
+    def test_v2_prototype(self):
+        rec = PersistenceAdvisor().decide(profile(one_time_or_prototype=True))
+        assert rec.choice == "eii"
+        assert rec.rule.startswith("V2")
+
+    def test_v3_realtime(self):
+        rec = PersistenceAdvisor().decide(profile(freshness_requirement_s=10))
+        assert rec.choice == "eii"
+        assert rec.rule.startswith("V3")
+
+
+class TestCostFormula:
+    def test_high_query_rate_favors_warehouse(self):
+        advisor = PersistenceAdvisor()
+        rec = advisor.decide(profile(queries_per_day=100_000))
+        assert rec.choice == "warehouse"
+        assert rec.rule is None
+        assert rec.warehouse_cost_per_day < rec.eii_cost_per_day
+
+    def test_low_query_rate_favors_eii(self):
+        advisor = PersistenceAdvisor()
+        rec = advisor.decide(profile(queries_per_day=1))
+        assert rec.choice == "eii"
+        assert rec.eii_cost_per_day < rec.warehouse_cost_per_day
+
+    def test_crossover_exists_and_is_consistent(self):
+        advisor = PersistenceAdvisor()
+        base = profile()
+        crossover = advisor.crossover_queries_per_day(base)
+        assert crossover is not None
+        below = advisor.decide(profile(queries_per_day=crossover * 0.2))
+        above = advisor.decide(profile(queries_per_day=crossover * 5))
+        assert below.choice == "eii"
+        assert above.choice == "warehouse"
+
+    def test_staleness_penalty_pushes_toward_eii(self):
+        advisor = PersistenceAdvisor()
+        cheap_stale = advisor.decide(
+            profile(queries_per_day=50_000, staleness_penalty_per_query_s=0.0)
+        )
+        costly_stale = advisor.decide(
+            profile(queries_per_day=50_000, staleness_penalty_per_query_s=1e-2)
+        )
+        assert cheap_stale.choice == "warehouse"
+        assert costly_stale.choice == "eii"
+
+    def test_best_refresh_interval_respects_freshness(self):
+        advisor = PersistenceAdvisor()
+        interval = advisor.best_refresh_interval(profile(freshness_requirement_s=3600))
+        assert interval <= 3600
+
+    def test_warehouse_cost_monotone_in_refresh_rate(self):
+        advisor = PersistenceAdvisor()
+        base = profile()
+        frequent = advisor.warehouse_cost_per_day(base, 300)
+        rare = advisor.warehouse_cost_per_day(base, 86_400)
+        assert frequent > rare  # more refreshes cost more ETL
+
+    def test_custom_parameters(self):
+        expensive_live = CostParameters(live_query_cost_per_row=1.0)
+        advisor = PersistenceAdvisor(expensive_live)
+        rec = advisor.decide(profile(queries_per_day=10))
+        assert rec.choice == "warehouse"
+
+    def test_reasons_populated(self):
+        rec = PersistenceAdvisor().decide(profile())
+        assert rec.reasons

@@ -1,0 +1,121 @@
+"""Data service agreement tests: obligations and violation detection."""
+
+import pytest
+
+from repro.agreements import (
+    AgreementMonitor,
+    DataServiceAgreement,
+    availability_obligation,
+    freshness_obligation,
+    null_fraction_obligation,
+    row_count_obligation,
+)
+from repro.common.types import DataType as T
+from repro.storage.io import relation_from_rows
+
+
+def good_relation():
+    return relation_from_rows(
+        [("id", T.INT), ("email", T.STRING)],
+        [(1, "a@x.com"), (2, "b@x.com"), (3, "c@x.com")],
+    )
+
+
+def dirty_relation():
+    return relation_from_rows(
+        [("id", T.INT), ("email", T.STRING)],
+        [(1, None), (2, None), (3, "c@x.com")],
+    )
+
+
+def make_monitor():
+    clock = lambda: 1234.0
+    monitor = AgreementMonitor(clock=clock)
+    monitor.register(
+        DataServiceAgreement(
+            name="crm_feed",
+            provider="crm",
+            consumer="dashboard",
+            obligations=[
+                freshness_obligation(3600),
+                null_fraction_obligation("email", 0.10),
+                row_count_obligation(2),
+            ],
+            consumer_duties=["use only for support routing"],
+        )
+    )
+    return monitor
+
+
+class TestObligations:
+    def test_freshness_pass_and_fail(self):
+        obligation = freshness_obligation(60)
+        assert obligation.check({"staleness": 30}) is None
+        assert "exceeds" in obligation.check({"staleness": 120})
+
+    def test_freshness_missing_measurement(self):
+        assert freshness_obligation(60).check({}) is not None
+
+    def test_null_fraction(self):
+        obligation = null_fraction_obligation("email", 0.10)
+        assert obligation.check({"relation": good_relation()}) is None
+        assert "null fraction" in obligation.check({"relation": dirty_relation()})
+
+    def test_row_count(self):
+        obligation = row_count_obligation(5)
+        assert "below minimum" in obligation.check({"relation": good_relation()})
+        assert row_count_obligation(3).check({"relation": good_relation()}) is None
+
+    def test_availability(self):
+        from repro.sources import CsvSource
+
+        source = CsvSource("files")
+        obligation = availability_obligation()
+        assert obligation.check({"source": source}) is None
+        source.capabilities.allows_external_queries = False
+        assert "refuses" in obligation.check({"source": source})
+
+
+class TestMonitor:
+    def test_clean_context_no_violations(self):
+        monitor = make_monitor()
+        violations = monitor.evaluate(
+            "crm_feed", {"staleness": 60, "relation": good_relation()}
+        )
+        assert violations == []
+        assert monitor.violations == []
+
+    def test_violations_detected_and_logged(self):
+        monitor = make_monitor()
+        violations = monitor.evaluate(
+            "crm_feed", {"staleness": 7200, "relation": dirty_relation()}
+        )
+        kinds = {v.kind for v in violations}
+        assert kinds == {"freshness", "quality"}
+        assert len(monitor.violations_for("crm_feed")) == 2
+
+    def test_violation_records_timestamp(self):
+        monitor = make_monitor()
+        monitor.evaluate("crm_feed", {"staleness": 7200, "relation": good_relation()})
+        assert monitor.violations[0].at == 1234.0
+
+    def test_evaluate_all(self):
+        monitor = make_monitor()
+        monitor.register(
+            DataServiceAgreement(
+                "tiny", "a", "b", [row_count_obligation(100)]
+            )
+        )
+        violations = monitor.evaluate_all(
+            {
+                "crm_feed": {"staleness": 1, "relation": good_relation()},
+                "tiny": {"relation": good_relation()},
+            }
+        )
+        assert [v.agreement for v in violations] == ["tiny"]
+
+    def test_agreements_listing(self):
+        monitor = make_monitor()
+        agreements = monitor.agreements()
+        assert agreements[0].name == "crm_feed"
+        assert agreements[0].consumer_duties

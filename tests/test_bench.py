@@ -1,0 +1,97 @@
+"""EIIBench tests: determinism, scale knobs, workload executability."""
+
+import pytest
+
+from repro.bench import BenchConfig, build_enterprise, format_table, queries
+from repro.bench.workload import QUERY_MIX
+from repro.federation import FederatedEngine
+
+
+class TestDatagen:
+    def test_deterministic(self):
+        a = build_enterprise(BenchConfig(seed=7))
+        b = build_enterprise(BenchConfig(seed=7))
+        assert list(a.crm.table("customers").rows()) == list(
+            b.crm.table("customers").rows()
+        )
+        assert a.truth_pairs == b.truth_pairs
+
+    def test_seed_changes_data(self):
+        a = build_enterprise(BenchConfig(seed=7))
+        b = build_enterprise(BenchConfig(seed=8))
+        assert list(a.crm.table("customers").rows()) != list(
+            b.crm.table("customers").rows()
+        )
+
+    def test_scale_factor(self):
+        small = build_enterprise(BenchConfig(scale=1))
+        large = build_enterprise(BenchConfig(scale=2))
+        assert len(large.sales.table("orders")) == 2 * len(small.sales.table("orders"))
+
+    def test_truth_pairs_reference_real_rows(self):
+        fixture = build_enterprise(BenchConfig())
+        contact_ids = {row[0] for row in fixture.partner_rows}
+        for cust_id, contact_id in fixture.truth_pairs:
+            assert fixture.crm.table("customers").get(cust_id) is not None
+            assert contact_id in contact_ids
+
+    def test_dirtiness_zero_keeps_names_clean(self):
+        fixture = build_enterprise(BenchConfig(dirtiness=0.0))
+        names = {row[1] for row in fixture.crm.table("customers").rows()}
+        truth_contacts = {c for _, c in fixture.truth_pairs}
+        for contact_id, full_name, _, _ in fixture.partner_rows:
+            if contact_id in truth_contacts:
+                assert full_name in names
+
+    def test_docstore_populated(self):
+        fixture = build_enterprise(BenchConfig())
+        assert fixture.docstore.document_count() == fixture.config.documents
+        assert fixture.doc_texts
+
+    def test_catalog_registers_all_sources(self):
+        fixture = build_enterprise(BenchConfig())
+        catalog = fixture.catalog()
+        assert set(catalog.sources) == {
+            "crm", "sales", "support", "finance", "marketing", "creditsvc", "docs",
+        }
+
+    def test_catalog_without_optional_sources(self):
+        fixture = build_enterprise(BenchConfig())
+        catalog = fixture.catalog(include_credit=False, include_docs=False)
+        assert "creditsvc" not in catalog.sources
+        assert "docs" not in catalog.sources
+
+
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        fixture = build_enterprise(BenchConfig(scale=1))
+        return FederatedEngine(fixture.catalog())
+
+    @pytest.mark.parametrize("name", sorted(queries()))
+    def test_query_runs(self, engine, name):
+        result = engine.query(queries()[name])
+        assert result.metrics.total_source_queries() >= 1
+
+    def test_mix_is_subset_of_queries(self):
+        assert set(QUERY_MIX) <= set(queries())
+
+    def test_queries_selector(self):
+        subset = queries(["q1_point_lookup"])
+        assert list(subset) == ["q1_point_lookup"]
+
+
+class TestHarness:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [("alpha", 1), ("b", 22)])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert lines[2].endswith(" 1")
+
+    def test_format_handles_none_and_bool(self):
+        text = format_table(["a", "b"], [(None, True)])
+        assert "-" in text and "yes" in text
+
+    def test_format_large_numbers(self):
+        text = format_table(["n"], [(1234567,)])
+        assert "1,234,567" in text

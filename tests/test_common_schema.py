@@ -1,0 +1,109 @@
+"""Unit tests for RelSchema resolution and Relation utilities."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.relation import Relation
+from repro.common.schema import Column, RelSchema
+from repro.common.types import DataType
+
+
+def make_schema():
+    return RelSchema(
+        [
+            Column("id", DataType.INT, "c"),
+            Column("name", DataType.STRING, "c"),
+            Column("id", DataType.INT, "o"),
+        ]
+    )
+
+
+class TestResolution:
+    def test_qualified_lookup(self):
+        schema = make_schema()
+        assert schema.index_of("id", "c") == 0
+        assert schema.index_of("id", "o") == 2
+
+    def test_unqualified_unique(self):
+        assert make_schema().index_of("name") == 1
+
+    def test_unqualified_ambiguous(self):
+        with pytest.raises(SchemaError, match="ambiguous"):
+            make_schema().index_of("id")
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            make_schema().index_of("missing")
+
+    def test_case_insensitive(self):
+        schema = make_schema()
+        assert schema.index_of("NAME", "C") == 1
+
+    def test_has(self):
+        schema = make_schema()
+        assert schema.has("name")
+        assert not schema.has("zip")
+
+
+class TestSchemaOps:
+    def test_of_builder_with_dotted_names(self):
+        schema = RelSchema.of(("t.a", DataType.INT), ("b", DataType.STRING))
+        assert schema[0].qualifier == "t"
+        assert schema[1].qualifier is None
+
+    def test_concat(self):
+        left = RelSchema.of(("a", DataType.INT))
+        right = RelSchema.of(("b", DataType.INT))
+        assert (left.concat(right)).names == ["a", "b"]
+
+    def test_with_qualifier(self):
+        schema = make_schema().with_qualifier("x")
+        assert all(column.qualifier == "x" for column in schema)
+
+    def test_project(self):
+        schema = make_schema().project([2, 0])
+        assert schema.qualified_names == ["o.id", "c.id"]
+
+    def test_rename(self):
+        schema = RelSchema.of(("a", DataType.INT), ("b", DataType.INT))
+        assert schema.rename(["x", "y"]).names == ["x", "y"]
+
+    def test_rename_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            RelSchema.of(("a", DataType.INT)).rename(["x", "y"])
+
+
+class TestRelation:
+    def test_width_check(self):
+        schema = RelSchema.of(("a", DataType.INT), ("b", DataType.INT))
+        with pytest.raises(SchemaError):
+            Relation(schema, [(1,)])
+
+    def test_column_values(self):
+        schema = RelSchema.of(("a", DataType.INT), ("b", DataType.STRING))
+        rel = Relation(schema, [(1, "x"), (2, "y")])
+        assert rel.column_values("b") == ["x", "y"]
+
+    def test_to_dicts(self):
+        schema = RelSchema.of(("a", DataType.INT),)
+        assert Relation(schema, [(1,)]).to_dicts() == [{"a": 1}]
+
+    def test_sorted_canonicalizes_with_nulls(self):
+        schema = RelSchema.of(("a", DataType.INT),)
+        rel = Relation(schema, [(2,), (None,), (1,)])
+        assert rel.sorted().rows == [(None,), (1,), (2,)]
+
+    def test_pretty_contains_headers_and_rows(self):
+        schema = RelSchema.of(("t.a", DataType.INT), ("t.b", DataType.STRING))
+        text = Relation(schema, [(1, "hi")]).pretty()
+        assert "t.a" in text
+        assert "hi" in text
+
+    def test_pretty_truncates(self):
+        schema = RelSchema.of(("a", DataType.INT),)
+        text = Relation(schema, [(i,) for i in range(30)]).pretty(limit=5)
+        assert "25 more rows" in text
+
+    def test_size_bytes(self):
+        schema = RelSchema.of(("a", DataType.INT),)
+        assert Relation(schema, [(1,), (2,)]).size_bytes() == 20

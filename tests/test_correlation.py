@@ -1,0 +1,214 @@
+"""Record-correlation tests: similarity metrics, blocking, linker, join index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import DataType as T
+from repro.correlation import (
+    FieldRule,
+    JoinIndex,
+    LinkerConfig,
+    RecordLinker,
+    jaccard_tokens,
+    jaro_winkler,
+    levenshtein,
+    normalized_levenshtein,
+    soundex,
+)
+from repro.storage.io import relation_from_rows
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("kitten", "kitten") == 0
+
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+
+    def test_normalized_bounds(self):
+        assert normalized_levenshtein("", "") == 1.0
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+
+
+class TestJaroWinkler:
+    def test_identity(self):
+        assert jaro_winkler("martha", "martha") == 1.0
+
+    def test_classic_pair(self):
+        assert jaro_winkler("MARTHA", "MARHTA") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_prefix_boost(self):
+        base = jaro_winkler("abcdxxxx", "abcdyyyy")
+        unrelated = jaro_winkler("xxxxabcd", "yyyyabcd")
+        assert base > unrelated
+
+    def test_disjoint_strings(self):
+        assert jaro_winkler("abc", "xyz") == 0.0
+
+
+class TestOtherMeasures:
+    def test_jaccard(self):
+        assert jaccard_tokens("acme data corp", "acme corp") == pytest.approx(2 / 3)
+
+    def test_jaccard_empty(self):
+        assert jaccard_tokens("", "") == 1.0
+        assert jaccard_tokens("a", "") == 0.0
+
+    def test_soundex_classic(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+
+    def test_soundex_distinguishes(self):
+        assert soundex("Smith") != soundex("Jones")
+
+    def test_soundex_padding(self):
+        assert soundex("Lee") == "L000"
+
+
+@given(st.text(max_size=12), st.text(max_size=12))
+@settings(max_examples=150, deadline=None)
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+@given(st.text(min_size=1, max_size=12), st.text(min_size=1, max_size=12))
+@settings(max_examples=150, deadline=None)
+def test_jaro_winkler_bounds_and_symmetry(a, b):
+    score = jaro_winkler(a, b)
+    assert 0.0 <= score <= 1.0
+    assert score == pytest.approx(jaro_winkler(b, a))
+
+
+def crm_relation():
+    return relation_from_rows(
+        [("id", T.INT), ("name", T.STRING), ("city", T.STRING)],
+        [
+            (1, "Maria Santos", "SF"),
+            (2, "John Smith", "NY"),
+            (3, "Ana Belcor", "LA"),
+        ],
+    )
+
+
+def partner_relation():
+    return relation_from_rows(
+        [("cid", T.INT), ("full_name", T.STRING), ("town", T.STRING)],
+        [
+            (101, "Maria Santoss", "SF"),  # typo of 1
+            (102, "Jon Smith", "NY"),  # typo of 2
+            (103, "Peter Nowak", "CHI"),  # no counterpart
+        ],
+    )
+
+
+def make_linker(threshold=0.85, blocking=None):
+    return RecordLinker(
+        LinkerConfig(
+            rules=[
+                FieldRule("name", "full_name", "jaro_winkler", weight=2.0),
+                FieldRule("city", "town", "exact", weight=1.0),
+            ],
+            threshold=threshold,
+            blocking_field=blocking,
+        )
+    )
+
+
+class TestRecordLinker:
+    def test_finds_typo_matches(self):
+        matches = make_linker().link(crm_relation(), partner_relation(), "id", "cid")
+        pairs = {(m.left_key, m.right_key) for m in matches}
+        assert (1, 101) in pairs
+        assert (2, 102) in pairs
+        assert all(right != 103 for _, right in pairs)
+
+    def test_scores_sorted_descending(self):
+        matches = make_linker(threshold=0.1).link(
+            crm_relation(), partner_relation(), "id", "cid"
+        )
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_blocking_reduces_comparisons(self):
+        unblocked = make_linker(threshold=0.85)
+        unblocked.link(crm_relation(), partner_relation(), "id", "cid")
+        blocked = make_linker(threshold=0.85, blocking=("name", "full_name"))
+        blocked.link(crm_relation(), partner_relation(), "id", "cid")
+        assert blocked.comparisons < unblocked.comparisons
+
+    def test_blocking_keeps_true_matches(self):
+        blocked = make_linker(blocking=("name", "full_name"))
+        pairs = {
+            (m.left_key, m.right_key)
+            for m in blocked.link(crm_relation(), partner_relation(), "id", "cid")
+        }
+        assert (1, 101) in pairs
+
+    def test_null_fields_skipped(self):
+        left = relation_from_rows(
+            [("id", T.INT), ("name", T.STRING), ("city", T.STRING)],
+            [(1, None, "SF")],
+        )
+        matches = make_linker(threshold=0.99).link(
+            left, partner_relation(), "id", "cid"
+        )
+        # name is missing; only the city rule contributes
+        assert all(m.right_key == 101 for m in matches)
+
+    def test_requires_rules(self):
+        from repro.common.errors import EIIError
+
+        with pytest.raises(EIIError):
+            RecordLinker(LinkerConfig(rules=[]))
+
+
+class TestJoinIndex:
+    def build_index(self):
+        return JoinIndex.build(
+            make_linker(), crm_relation(), partner_relation(), "id", "cid"
+        )
+
+    def test_build_and_probe(self):
+        index = self.build_index()
+        assert index.rights_for(1) == {101}
+        assert index.lefts_for(102) == {2}
+        assert index.rights_for(3) == set()
+
+    def test_join_through_index(self):
+        index = self.build_index()
+        joined = index.join(crm_relation(), partner_relation(), "id", "cid")
+        assert len(joined) == 2
+        assert joined.schema.has("full_name")
+
+    def test_quality_metrics(self):
+        index = self.build_index()
+        quality = index.quality({(1, 101), (2, 102)})
+        assert quality["precision"] == 1.0
+        assert quality["recall"] == 1.0
+        assert quality["f1"] == 1.0
+
+    def test_quality_with_misses(self):
+        index = JoinIndex()
+        index.add(1, 101)
+        quality = index.quality({(1, 101), (2, 102)})
+        assert quality["recall"] == 0.5
+        assert quality["precision"] == 1.0
+
+    def test_empty_index_quality(self):
+        assert JoinIndex().quality(set())["precision"] == 1.0
+        assert JoinIndex().quality({(1, 2)})["precision"] == 0.0
+
+    def test_pairs_listing(self):
+        index = self.build_index()
+        assert index.pairs() == [(1, 101), (2, 102)]
+        assert len(index) == 2

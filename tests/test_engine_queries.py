@@ -1,0 +1,302 @@
+"""End-to-end SQL correctness tests for the local engine."""
+
+import pytest
+
+from repro.common.errors import PlanError, SchemaError
+from repro.engine import LocalEngine
+
+
+class TestProjectionsAndFilters:
+    def test_select_star(self, engine):
+        result = engine.query("SELECT * FROM customers")
+        assert len(result) == 20
+        assert result.schema.qualified_names[0] == "customers.id"
+
+    def test_select_columns(self, engine):
+        result = engine.query("SELECT name, city FROM customers WHERE id = 3")
+        assert result.rows == [("cust03", "CHI")]
+
+    def test_computed_column(self, engine):
+        result = engine.query("SELECT total * 2 AS double_total FROM orders WHERE id = 1")
+        assert result.rows == [(24.0,)]
+        assert result.schema.names == ["double_total"]
+
+    def test_where_and_or(self, engine):
+        result = engine.query(
+            "SELECT id FROM customers WHERE city = 'SF' OR (city = 'NY' AND segment = 'smb')"
+        )
+        # cities cycle [SF, NY, LA, CHI] by id % 4; segment smb when id is odd.
+        expected = {i for i in range(1, 21) if i % 4 == 0}  # SF
+        expected |= {i for i in range(1, 21) if i % 4 == 1 and i % 2 == 1}  # NY smb
+        assert set(result.column_values("id")) == expected
+
+    def test_like(self, engine):
+        result = engine.query("SELECT name FROM customers WHERE name LIKE 'cust0%'")
+        assert len(result) == 9
+
+    def test_in_list(self, engine):
+        result = engine.query("SELECT id FROM customers WHERE id IN (1, 2, 99)")
+        assert sorted(result.column_values("id")) == [1, 2]
+
+    def test_between(self, engine):
+        result = engine.query("SELECT id FROM orders WHERE id BETWEEN 5 AND 7")
+        assert sorted(result.column_values("id")) == [5, 6, 7]
+
+    def test_alias_binding(self, engine):
+        result = engine.query("SELECT c.name FROM customers AS c WHERE c.id = 1")
+        assert result.rows == [("cust01",)]
+
+    def test_unknown_column_raises(self, engine):
+        with pytest.raises(SchemaError):
+            engine.query("SELECT nope FROM customers")
+
+    def test_unknown_table_raises(self, engine):
+        with pytest.raises(SchemaError):
+            engine.query("SELECT * FROM ghosts")
+
+    def test_duplicate_binding_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("SELECT * FROM customers, customers")
+
+    def test_self_join_with_aliases(self, engine):
+        result = engine.query(
+            "SELECT a.id, b.id FROM customers a JOIN customers b ON a.id = b.id WHERE a.id < 3"
+        )
+        assert len(result) == 2
+
+
+class TestJoins:
+    def test_inner_join(self, engine):
+        result = engine.query(
+            "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        assert len(result) == 100
+
+    def test_comma_join_equivalent(self, engine):
+        explicit = engine.query(
+            "SELECT c.id, o.id FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        implicit = engine.query(
+            "SELECT c.id, o.id FROM customers c, orders o WHERE c.id = o.cust_id"
+        )
+        assert explicit.sorted().rows == implicit.sorted().rows
+
+    def test_left_join_pads_nulls(self, engine, demo_db):
+        demo_db.table("customers").insert((999, "loner", "SF", "smb"))
+        result = engine.query(
+            "SELECT c.id, o.id FROM customers c LEFT JOIN orders o ON c.id = o.cust_id "
+            "WHERE c.id = 999"
+        )
+        assert result.rows == [(999, None)]
+
+    def test_left_join_matches_inner_when_all_match(self, engine):
+        inner = engine.query(
+            "SELECT c.id, o.id FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        left = engine.query(
+            "SELECT c.id, o.id FROM customers c LEFT JOIN orders o ON c.id = o.cust_id"
+        )
+        assert inner.sorted().rows == left.sorted().rows
+
+    def test_three_way_join(self, engine):
+        result = engine.query(
+            "SELECT c.id FROM customers c "
+            "JOIN orders o ON c.id = o.cust_id "
+            "JOIN tickets t ON c.id = t.cust_id "
+            "WHERE t.severity = 4"
+        )
+        assert len(result) > 0
+
+    def test_non_equi_join(self, engine):
+        result = engine.query(
+            "SELECT c.id, o.id FROM customers c JOIN orders o ON o.cust_id < c.id WHERE c.id = 2"
+        )
+        # orders with cust_id = 1 (i % 20 == 0): ids 20, 40, 60, 80, 100
+        assert sorted(row[1] for row in result.rows) == [20, 40, 60, 80, 100]
+
+    def test_cross_join_cardinality(self, engine):
+        result = engine.query("SELECT c.id FROM customers c CROSS JOIN tickets t")
+        assert len(result) == 20 * 30
+
+    def test_join_condition_with_filter_conjunct(self, engine):
+        result = engine.query(
+            "SELECT o.id FROM customers c JOIN orders o "
+            "ON c.id = o.cust_id AND o.status = 'open'"
+        )
+        statuses = engine.query("SELECT id FROM orders WHERE status = 'open'")
+        assert len(result) == len(statuses)
+
+
+class TestAggregation:
+    def test_global_count(self, engine):
+        result = engine.query("SELECT COUNT(*) AS n FROM orders")
+        assert result.rows == [(100,)]
+
+    def test_global_aggregate_empty_input(self, engine):
+        result = engine.query("SELECT COUNT(*) AS n, SUM(total) AS s FROM orders WHERE id > 1000")
+        assert result.rows == [(0, None)]
+
+    def test_group_by(self, engine):
+        result = engine.query(
+            "SELECT status, COUNT(*) AS n FROM orders GROUP BY status"
+        )
+        counts = dict(result.rows)
+        assert counts["open"] + counts["closed"] == 100
+
+    def test_group_by_with_join(self, engine):
+        result = engine.query(
+            "SELECT c.city, COUNT(*) AS n FROM customers c JOIN orders o "
+            "ON c.id = o.cust_id GROUP BY c.city"
+        )
+        assert sum(row[1] for row in result.rows) == 100
+
+    def test_having(self, engine):
+        result = engine.query(
+            "SELECT cust_id, COUNT(*) AS n FROM orders GROUP BY cust_id HAVING COUNT(*) > 4"
+        )
+        assert all(row[1] > 4 for row in result.rows)
+
+    def test_avg_min_max(self, engine):
+        result = engine.query(
+            "SELECT AVG(severity) AS a, MIN(severity) AS lo, MAX(severity) AS hi FROM tickets"
+        )
+        a, lo, hi = result.rows[0]
+        assert lo == 1 and hi == 4 and 1 <= a <= 4
+
+    def test_count_distinct(self, engine):
+        result = engine.query("SELECT COUNT(DISTINCT city) AS n FROM customers")
+        assert result.rows == [(4,)]
+
+    def test_expression_in_group_by(self, engine):
+        result = engine.query(
+            "SELECT id % 2, COUNT(*) FROM orders GROUP BY id % 2"
+        )
+        assert len(result) == 2
+
+    def test_ungrouped_column_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("SELECT city, COUNT(*) FROM customers GROUP BY segment")
+
+    def test_aggregate_in_where_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("SELECT id FROM orders WHERE SUM(total) > 10")
+
+    def test_having_without_group_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("SELECT id FROM orders HAVING id > 1")
+
+
+class TestOrderingAndLimits:
+    def test_order_by_desc(self, engine):
+        result = engine.query("SELECT id FROM orders ORDER BY id DESC LIMIT 3")
+        assert result.column_values("id") == [100, 99, 98]
+
+    def test_order_by_alias(self, engine):
+        result = engine.query(
+            "SELECT total * 2 AS d FROM orders ORDER BY d LIMIT 1"
+        )
+        assert result.rows[0][0] == min(
+            engine.query("SELECT total FROM orders").column_values("total")
+        ) * 2
+
+    def test_order_by_aggregate(self, engine):
+        result = engine.query(
+            "SELECT cust_id, SUM(total) AS s FROM orders GROUP BY cust_id ORDER BY s DESC"
+        )
+        sums = [row[1] for row in result.rows]
+        assert sums == sorted(sums, reverse=True)
+
+    def test_multi_key_order(self, engine):
+        result = engine.query(
+            "SELECT city, id FROM customers ORDER BY city ASC, id DESC"
+        )
+        rows = result.rows
+        for a, b in zip(rows, rows[1:]):
+            assert a[0] < b[0] or (a[0] == b[0] and a[1] > b[1])
+
+    def test_nulls_first_ascending(self, engine, demo_db):
+        demo_db.table("customers").insert((999, None, "SF", "smb"))
+        result = engine.query("SELECT name FROM customers ORDER BY name LIMIT 1")
+        assert result.rows[0][0] is None
+
+    def test_distinct(self, engine):
+        result = engine.query("SELECT DISTINCT city FROM customers")
+        assert len(result) == 4
+
+    def test_limit_zero(self, engine):
+        assert len(engine.query("SELECT id FROM orders LIMIT 0")) == 0
+
+
+class TestDml:
+    def test_insert_with_columns(self, engine, demo_db):
+        n = engine.execute("INSERT INTO customers (id, name, city, segment) VALUES (900, 'x', 'SF', 'smb')")
+        assert n == 1
+        assert demo_db.table("customers").get(900) == (900, "x", "SF", "smb")
+
+    def test_insert_multi_row(self, engine):
+        n = engine.execute(
+            "INSERT INTO tickets (id, cust_id, severity, open) VALUES (900, 1, 2, TRUE), (901, 2, 3, FALSE)"
+        )
+        assert n == 2
+
+    def test_update(self, engine, demo_db):
+        n = engine.execute("UPDATE orders SET status = 'void' WHERE id <= 10")
+        assert n == 10
+        result = engine.query("SELECT COUNT(*) FROM orders WHERE status = 'void'")
+        assert result.rows[0][0] == 10
+
+    def test_update_with_expression(self, engine):
+        engine.execute("UPDATE orders SET total = total + 1 WHERE id = 1")
+        result = engine.query("SELECT total FROM orders WHERE id = 1")
+        assert result.rows[0][0] == 13.0
+
+    def test_delete(self, engine):
+        n = engine.execute("DELETE FROM tickets WHERE severity = 4")
+        assert n > 0
+        remaining = engine.query("SELECT COUNT(*) FROM tickets WHERE severity = 4")
+        assert remaining.rows[0][0] == 0
+
+    def test_query_rejects_dml(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("DELETE FROM tickets")
+
+    def test_execute_rejects_select(self, engine):
+        with pytest.raises(PlanError):
+            engine.execute("SELECT * FROM tickets")
+
+
+class TestExplain:
+    def test_explain_mentions_operators(self, engine):
+        text = engine.explain(
+            "SELECT c.name FROM customers c JOIN orders o ON c.id = o.cust_id "
+            "WHERE o.total > 200"
+        )
+        assert "HashJoin" in text
+        assert "SeqScan" in text
+        assert "estimated rows" in text
+
+    def test_pushdown_visible_in_plan(self, engine):
+        text = engine.explain(
+            "SELECT c.name FROM customers c JOIN orders o ON c.id = o.cust_id "
+            "WHERE c.city = 'SF'"
+        )
+        # the filter must appear below the join, adjacent to the customers scan
+        join_pos = text.index("HashJoin")
+        filter_pos = text.index("Filter((c.city = 'SF'))", join_pos)
+        assert filter_pos > join_pos
+
+    def test_index_scan_chosen(self, engine, demo_db):
+        demo_db.table("orders").create_index("cust_id")
+        text = engine.explain("SELECT id FROM orders WHERE cust_id = 3")
+        assert "IndexEqScan" in text
+
+    def test_index_range_scan_chosen(self, engine, demo_db):
+        demo_db.table("orders").create_index("total", sorted=True)
+        text = engine.explain("SELECT id FROM orders WHERE total > 390")
+        assert "IndexRangeScan" in text
+
+    def test_index_results_match_seq_scan(self, engine, demo_db):
+        without = engine.query("SELECT id FROM orders WHERE cust_id = 3").sorted()
+        demo_db.table("orders").create_index("cust_id")
+        with_index = engine.query("SELECT id FROM orders WHERE cust_id = 3").sorted()
+        assert without.rows == with_index.rows

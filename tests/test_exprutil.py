@@ -1,0 +1,112 @@
+"""Direct unit tests for expression-tree utilities."""
+
+import pytest
+
+from repro.sql import parse_expression
+from repro.sql.ast import BinaryOp, ColumnRef, Literal
+from repro.sql.exprutil import (
+    children,
+    column_refs,
+    conjoin,
+    contains_aggregate,
+    equi_join_sides,
+    is_literal_comparison,
+    referenced_qualifiers,
+    requalify,
+    split_conjuncts,
+    substitute_columns,
+    transform,
+    walk,
+)
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        expr = parse_expression("a + b * c")
+        kinds = [type(node).__name__ for node in walk(expr)]
+        assert kinds[0] == "BinaryOp"
+        assert kinds.count("ColumnRef") == 3
+
+    def test_children_of_case(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN b ELSE c END")
+        assert len(children(expr)) == 3
+
+    def test_column_refs_in_order(self):
+        expr = parse_expression("t.a = 1 AND u.b IN (t.c, 2)")
+        refs = [str(ref) for ref in column_refs(expr)]
+        assert refs == ["t.a", "u.b", "t.c"]
+
+    def test_referenced_qualifiers(self):
+        expr = parse_expression("t.a = u.b AND c > 1")
+        assert referenced_qualifiers(expr) == {"t", "u", ""}
+
+    def test_contains_aggregate(self):
+        assert contains_aggregate(parse_expression("SUM(x) > 1"))
+        assert not contains_aggregate(parse_expression("UPPER(x) = 'A'"))
+
+
+class TestConjuncts:
+    def test_split_nested_ands(self):
+        expr = parse_expression("a = 1 AND (b = 2 AND c = 3)")
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert split_conjuncts(expr) == [expr]
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_conjoin_round_trip(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        assert split_conjuncts(conjoin(split_conjuncts(expr))) == split_conjuncts(expr)
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+
+class TestRewrites:
+    def test_transform_bottom_up(self):
+        expr = parse_expression("a + 1")
+
+        def bump(node):
+            if isinstance(node, Literal) and node.value == 1:
+                return Literal(2)
+            return None
+
+        assert transform(expr, bump) == parse_expression("a + 2")
+
+    def test_substitute_by_tuple_key(self):
+        expr = parse_expression("v.x + v.y")
+        mapping = {("v", "x"): ColumnRef("a", "t"), ("v", "y"): Literal(5)}
+        assert substitute_columns(expr, mapping) == parse_expression("t.a + 5")
+
+    def test_substitute_by_columnref_key(self):
+        expr = parse_expression("x + 1")
+        mapping = {ColumnRef("x"): ColumnRef("y", "q")}
+        assert substitute_columns(expr, mapping) == parse_expression("q.y + 1")
+
+    def test_requalify(self):
+        expr = parse_expression("old.a = 1 AND other.b = 2")
+        rewritten = requalify(expr, "old", "new")
+        assert rewritten == parse_expression("new.a = 1 AND other.b = 2")
+
+    def test_requalify_unqualified(self):
+        expr = parse_expression("a = 1")
+        assert requalify(expr, None, "t") == parse_expression("t.a = 1")
+
+
+class TestShapes:
+    def test_is_literal_comparison(self):
+        assert is_literal_comparison(parse_expression("a > 3"))
+        assert is_literal_comparison(parse_expression("3 > a"))
+        assert not is_literal_comparison(parse_expression("a > b"))
+        assert not is_literal_comparison(parse_expression("a + 1"))
+
+    def test_equi_join_sides(self):
+        sides = equi_join_sides(parse_expression("t.a = u.b"))
+        assert sides == (ColumnRef("a", "t"), ColumnRef("b", "u"))
+
+    def test_equi_join_rejects_non_equality(self):
+        assert equi_join_sides(parse_expression("t.a < u.b")) is None
+        assert equi_join_sides(parse_expression("t.a = 3")) is None

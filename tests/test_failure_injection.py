@@ -1,0 +1,180 @@
+"""Failure-injection tests: how the stack behaves when pieces break."""
+
+import pytest
+
+from repro.common.errors import (
+    CapabilityError,
+    EIIError,
+    ReformulationError,
+    SchemaError,
+    SourceError,
+)
+from repro.common.types import DataType as T
+from repro.federation import FederatedEngine, FederationCatalog
+from repro.sources import RelationalSource, WebServiceSource
+from repro.storage import Database
+
+from tests.federation_fixtures import build_catalog
+
+
+class FlakySource(RelationalSource):
+    """A relational source that starts failing after `fail_after` queries."""
+
+    def __init__(self, name, db, fail_after=0):
+        super().__init__(name, db)
+        self.calls = 0
+        self.fail_after = fail_after
+
+    def execute_select(self, stmt, metrics=None):
+        self.calls += 1
+        if self.calls > self.fail_after:
+            raise SourceError(f"{self.name}: connection reset")
+        return super().execute_select(stmt, metrics)
+
+
+def tiny_db(table, columns, rows):
+    db = Database("tiny")
+    db.create_table(table, columns)
+    db.table(table).insert_many(rows)
+    return db
+
+
+class TestSourceFailures:
+    def test_source_error_propagates_with_source_name(self):
+        db = tiny_db("t", [("id", T.INT)], [(1,)])
+        catalog = FederationCatalog()
+        catalog.register_source(FlakySource("flaky", db, fail_after=0))
+        engine = FederatedEngine(catalog)
+        with pytest.raises(SourceError, match="flaky"):
+            engine.query("SELECT id FROM t")
+
+    def test_failure_in_one_branch_fails_whole_query(self):
+        stable = tiny_db("a", [("id", T.INT)], [(1,)])
+        broken = tiny_db("b", [("id", T.INT)], [(1,)])
+        catalog = FederationCatalog()
+        catalog.register_source(RelationalSource("stable", stable))
+        catalog.register_source(FlakySource("broken", broken, fail_after=0))
+        engine = FederatedEngine(catalog)
+        with pytest.raises(SourceError):
+            engine.query("SELECT a.id FROM a JOIN b ON a.id = b.id")
+
+    def test_recovery_after_transient_failure(self):
+        db = tiny_db("t", [("id", T.INT)], [(1,)])
+        source = FlakySource("flaky", db, fail_after=1)
+        catalog = FederationCatalog()
+        catalog.register_source(source)
+        engine = FederatedEngine(catalog)
+        assert len(engine.query("SELECT id FROM t").relation) == 1
+        with pytest.raises(SourceError):
+            engine.query("SELECT id FROM t")
+        source.fail_after = 10  # "the DBA restarted it"
+        assert len(engine.query("SELECT id FROM t").relation) == 1
+
+    def test_access_revoked_mid_session(self):
+        catalog = build_catalog()
+        engine = FederatedEngine(catalog)
+        assert engine.query("SELECT COUNT(*) FROM customers").relation.rows == [(8,)]
+        catalog.sources["crm"].capabilities.allows_external_queries = False
+        with pytest.raises(SourceError, match="external queries"):
+            engine.query("SELECT COUNT(*) FROM customers")
+
+    def test_webservice_handler_exception_surfaces(self):
+        def broken_handler(key):
+            raise ValueError("upstream 500")
+
+        service = WebServiceSource(
+            "svc", "echo", [("k", T.INT), ("v", T.INT)], "k", handler=broken_handler
+        )
+        from repro.sql.parser import parse_select
+
+        with pytest.raises(ValueError, match="500"):
+            service.execute_select(parse_select("SELECT * FROM echo WHERE k = 1"))
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_source_tables(self):
+        db = tiny_db("t", [("id", T.INT), ("v", T.STRING)], [])
+        catalog = FederationCatalog()
+        catalog.register_source(RelationalSource("empty", db))
+        engine = FederatedEngine(catalog)
+        result = engine.query("SELECT COUNT(*) AS n, MAX(v) AS m FROM t")
+        assert result.relation.rows == [(0, None)]
+
+    def test_join_with_empty_side(self):
+        left = tiny_db("a", [("id", T.INT)], [(1,), (2,)])
+        right = tiny_db("b", [("id", T.INT)], [])
+        catalog = FederationCatalog()
+        catalog.register_source(RelationalSource("left", left))
+        catalog.register_source(RelationalSource("right", right))
+        engine = FederatedEngine(catalog)
+        result = engine.query("SELECT a.id FROM a JOIN b ON a.id = b.id")
+        assert len(result.relation) == 0
+
+    def test_bind_join_with_no_driver_keys(self):
+        catalog = build_catalog()
+        engine = FederatedEngine(catalog)
+        result = engine.query(
+            "SELECT c.name, cr.score FROM customers c "
+            "JOIN credit cr ON cr.cust_id = c.id WHERE c.id > 10000"
+        )
+        assert len(result.relation) == 0
+        # no keys -> zero service invocations
+        assert result.metrics.source_queries.get("creditsvc", 0) == 0
+
+    def test_unknown_table_clean_error(self):
+        engine = FederatedEngine(build_catalog())
+        with pytest.raises(SchemaError, match="no federated table"):
+            engine.query("SELECT * FROM ghosts")
+
+
+class TestLavEngineIntegration:
+    def build(self):
+        from repro.mediator.lav import LavMapping, LavMediator
+
+        db = Database("views")
+        db.create_table("v_person", [("p", T.INT), ("name", T.STRING)])
+        db.create_table("v_lives", [("p", T.INT), ("city", T.STRING)])
+        db.table("v_person").insert_many([(1, "ada"), (2, "grace")])
+        db.table("v_lives").insert_many([(1, "SF"), (2, "NY")])
+        catalog = FederationCatalog()
+        catalog.register_source(RelationalSource("src", db))
+        mediator = LavMediator(
+            [
+                LavMapping.parse("v_person(P, Name) :- person(P, Name)"),
+                LavMapping.parse("v_lives(P, City) :- lives(P, City)"),
+            ]
+        )
+        columns = {"v_person": ["p", "name"], "v_lives": ["p", "city"]}
+        return mediator, FederatedEngine(catalog), columns
+
+    def test_answer_with_engine(self):
+        mediator, engine, columns = self.build()
+        answers = mediator.answer_with_engine(
+            "q(Name, City) :- person(P, Name), lives(P, City)", engine, columns
+        )
+        assert answers == {("ada", "SF"), ("grace", "NY")}
+
+    def test_answer_with_engine_no_rewriting(self):
+        mediator, engine, columns = self.build()
+        with pytest.raises(ReformulationError):
+            mediator.answer_with_engine(
+                "q(P) :- employed(P, E)", engine, columns
+            )
+
+    def test_answer_with_local_engine(self):
+        """The same API runs against a plain LocalEngine."""
+        from repro.engine import LocalEngine
+        from repro.mediator.lav import LavMapping, LavMediator
+
+        db = Database("local")
+        db.create_table("v_person", [("p", T.INT), ("name", T.STRING)])
+        db.table("v_person").insert_many([(1, "ada")])
+        mediator = LavMediator(
+            [LavMapping.parse("v_person(P, Name) :- person(P, Name)")]
+        )
+        answers = mediator.answer_with_engine(
+            "q(Name) :- person(P, Name)",
+            LocalEngine(db),
+            {"v_person": ["p", "name"]},
+        )
+        assert answers == {("ada",)}

@@ -1,0 +1,303 @@
+"""Integration tests for federated planning and execution."""
+
+import pytest
+
+from repro.common.errors import PlanError, SchemaError
+from repro.common.types import DataType as T
+from repro.federation import (
+    FederatedEngine,
+    FederatedPlanner,
+    FederationCatalog,
+    LogicalBindJoin,
+    LogicalFetch,
+)
+from repro.federation.engine import parallel_makespan
+from repro.sources import RelationalSource
+from repro.storage import Database
+from repro.wrappers import GENERIC, QUIRK_AWARE
+
+from tests.federation_fixtures import build_catalog, build_engine
+
+
+class TestCatalog:
+    def test_global_names(self):
+        catalog = build_catalog()
+        assert "customers" in catalog.table_names()
+        assert catalog.source_of("orders").name == "sales"
+
+    def test_rename(self):
+        db = Database("x")
+        db.create_table("customers", [("id", T.INT)])
+        catalog = build_catalog()
+        catalog.register_source(
+            RelationalSource("legacy", db), rename={"customers": "legacy_customers"}
+        )
+        assert catalog.source_of("legacy_customers").name == "legacy"
+
+    def test_name_collision_rejected(self):
+        db = Database("x")
+        db.create_table("customers", [("id", T.INT)])
+        catalog = build_catalog()
+        with pytest.raises(SchemaError):
+            catalog.register_source(RelationalSource("dup", db))
+
+    def test_duplicate_source_rejected(self):
+        catalog = build_catalog()
+        db = Database("y")
+        with pytest.raises(SchemaError):
+            catalog.register_source(RelationalSource("crm", db))
+
+    def test_resolver_protocol(self):
+        catalog = build_catalog()
+        assert catalog.resolve_table("orders").names == [
+            "id", "cust_id", "total", "status",
+        ]
+
+    def test_stats_protocol(self):
+        catalog = build_catalog()
+        assert catalog.table_stats("customers").row_count == 8
+
+
+class TestSingleSourceQueries:
+    def test_whole_query_pushed_to_one_source(self):
+        engine = build_engine()
+        plan = engine.planner.plan(
+            "SELECT cust_id, SUM(total) AS s FROM orders GROUP BY cust_id"
+        )
+        assert len(plan.fetches) == 1
+        assert isinstance(plan.root, LogicalFetch)
+        result = engine.execute_plan(plan)
+        assert len(result.relation) == 8
+
+    def test_single_source_result_correct(self):
+        result = build_engine().query("SELECT COUNT(*) AS n FROM customers")
+        assert result.relation.rows == [(8,)]
+
+    def test_scan_only_source_processed_at_mediator(self):
+        engine = build_engine()
+        plan = engine.planner.plan("SELECT region FROM regions WHERE city = 'SF'")
+        # the filter cannot push into the spreadsheet: fetch is a bare scan
+        fetch = plan.fetches[0]
+        assert "WHERE" not in str(fetch.stmt)
+        result = engine.execute_plan(plan)
+        assert result.relation.rows == [("west",)]
+
+
+class TestCrossSourceJoins:
+    def test_two_source_join_correct(self):
+        result = build_engine().query(
+            "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id "
+            "WHERE o.total > 100"
+        )
+        assert len(result.relation) == len(
+            [i for i in range(1, 41) if i * 3.5 > 100]
+        )
+
+    def test_filters_pushed_into_component_queries(self):
+        engine = build_engine()
+        plan = engine.planner.plan(
+            "SELECT c.name FROM customers c JOIN orders o ON c.id = o.cust_id "
+            "WHERE o.total > 100 AND c.city = 'SF'"
+        )
+        component_sqls = [str(fetch.stmt) for fetch in plan.fetches]
+        component_sqls += [str(bind.template) for bind in plan.bind_joins]
+        assert any("total" in sql and ">" in sql for sql in component_sqls)
+        assert any("city" in sql for sql in component_sqls)
+
+    def test_three_source_join(self):
+        result = build_engine().query(
+            "SELECT c.name, r.region FROM customers c "
+            "JOIN regions r ON c.city = r.city WHERE c.id = 1"
+        )
+        assert result.relation.rows == [("cust1", "west")]
+
+    def test_metrics_account_transfers(self):
+        result = build_engine().query(
+            "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        assert result.metrics.rows_shipped > 0
+        assert result.metrics.total_source_queries() >= 2
+        assert result.elapsed_seconds > 0
+
+    def test_assembly_site_prefers_biggest_producer(self):
+        engine = FederatedEngine(build_catalog(), semijoin="off")
+        plan = engine.planner.plan(
+            "SELECT c.id, o.id FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        assert plan.assembly_site == "sales"  # orders is the largest input
+
+    def test_hub_only_when_disabled(self):
+        engine = FederatedEngine(build_catalog(), choose_assembly_site=False)
+        plan = engine.planner.plan(
+            "SELECT c.id, o.id FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        assert plan.assembly_site == "hub"
+
+
+class TestDialectDrivenPlanning:
+    def test_generic_wrapper_ships_more(self):
+        quirk = FederatedEngine(build_catalog(sales_dialect=QUIRK_AWARE))
+        generic = FederatedEngine(build_catalog(sales_dialect=GENERIC))
+        sql = (
+            "SELECT o.id FROM orders o WHERE o.total > 120 AND o.status LIKE 'o%'"
+        )
+        quirk_result = quirk.query(sql)
+        generic_result = generic.query(sql)
+        assert quirk_result.relation.sorted().rows == generic_result.relation.sorted().rows
+        assert generic_result.metrics.rows_shipped > quirk_result.metrics.rows_shipped
+
+    def test_partial_pushdown_splits_filter(self):
+        engine = FederatedEngine(build_catalog(sales_dialect=GENERIC))
+        plan = engine.planner.plan(
+            "SELECT o.id FROM orders o WHERE o.total > 120 AND o.status LIKE 'o%'"
+        )
+        fetch = plan.fetches[0]
+        sql = str(fetch.stmt)
+        assert "total" in sql and "LIKE" not in sql
+
+    def test_aggregate_stays_local_without_capability(self):
+        from repro.wrappers import CONSERVATIVE
+
+        engine = FederatedEngine(build_catalog(sales_dialect=CONSERVATIVE))
+        plan = engine.planner.plan(
+            "SELECT cust_id, COUNT(*) FROM orders GROUP BY cust_id"
+        )
+        assert all("GROUP BY" not in str(f.stmt) for f in plan.fetches)
+        result = engine.execute_plan(plan)
+        assert len(result.relation) == 8
+
+
+class TestBindJoins:
+    def test_webservice_requires_bind_join(self):
+        engine = build_engine()
+        plan = engine.planner.plan(
+            "SELECT c.name, cr.score FROM customers c JOIN credit cr ON cr.cust_id = c.id"
+        )
+        binds = [n for n in plan.root.walk() if isinstance(n, LogicalBindJoin)]
+        assert len(binds) == 1
+        result = engine.execute_plan(plan)
+        assert len(result.relation) == 8
+
+    def test_webservice_without_join_key_fails(self):
+        engine = build_engine()
+        with pytest.raises(PlanError, match="access path|binding"):
+            engine.planner.plan("SELECT score FROM credit")
+
+    def test_webservice_filter_becomes_residual(self):
+        engine = build_engine()
+        result = engine.query(
+            "SELECT c.name, cr.score FROM customers c JOIN credit cr "
+            "ON cr.cust_id = c.id WHERE cr.score > 650"
+        )
+        assert all(row[1] > 650 for row in result.relation.rows)
+
+    def test_webservice_on_left_side_commutes(self):
+        engine = build_engine()
+        result = engine.query(
+            "SELECT cr.score, c.name FROM credit cr JOIN customers c "
+            "ON cr.cust_id = c.id WHERE c.id = 3"
+        )
+        assert result.relation.rows == [(630, "cust3")]
+
+    def test_forced_semijoin_between_relational_sources(self):
+        engine = FederatedEngine(build_catalog(), semijoin="force")
+        plan = engine.planner.plan(
+            "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        binds = [n for n in plan.root.walk() if isinstance(n, LogicalBindJoin)]
+        assert binds
+        result = engine.execute_plan(plan)
+        assert len(result.relation) == 40
+
+    def test_semijoin_off_ships_whole_tables(self):
+        off = FederatedEngine(build_catalog(), semijoin="off")
+        force = FederatedEngine(build_catalog(), semijoin="force")
+        sql = (
+            "SELECT c.name, o.total FROM customers c JOIN orders o "
+            "ON c.id = o.cust_id WHERE c.city = 'SF'"
+        )
+        off_result = off.query(sql)
+        force_result = force.query(sql)
+        assert off_result.relation.sorted().rows == force_result.relation.sorted().rows
+        assert force_result.metrics.rows_shipped <= off_result.metrics.rows_shipped
+
+    def test_bind_join_chunking(self):
+        engine = FederatedEngine(build_catalog(), semijoin="force")
+        engine.planner.max_inlist = 3
+        plan = engine.planner.plan(
+            "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        binds = [n for n in plan.root.walk() if isinstance(n, LogicalBindJoin)]
+        assert len(binds) == 1
+        probed = binds[0].source.name
+        result = engine.execute_plan(plan)
+        # 8 distinct keys at 3 per chunk = 3 component queries to the probed side
+        assert result.metrics.source_queries[probed] == 3
+        assert len(result.relation) == 40
+
+
+class TestEquivalenceAcrossModes:
+    SQL = (
+        "SELECT c.city, COUNT(*) AS n, SUM(o.total) AS s FROM customers c "
+        "JOIN orders o ON c.id = o.cust_id WHERE o.status = 'open' "
+        "GROUP BY c.city ORDER BY s DESC"
+    )
+
+    def test_all_planner_modes_agree(self):
+        results = []
+        for semijoin in ("auto", "force", "off"):
+            for site in (True, False):
+                engine = FederatedEngine(
+                    build_catalog(), semijoin=semijoin, choose_assembly_site=site
+                )
+                results.append(engine.query(self.SQL).relation.sorted().rows)
+        assert all(rows == results[0] for rows in results)
+
+    def test_federated_matches_single_engine(self):
+        """Co-locating all tables in one DB must give identical answers."""
+        from repro.engine import LocalEngine
+
+        db = Database("all")
+        db.create_table(
+            "customers", [("id", T.INT), ("name", T.STRING), ("city", T.STRING)],
+            primary_key=["id"],
+        )
+        db.create_table(
+            "orders",
+            [("id", T.INT), ("cust_id", T.INT), ("total", T.FLOAT), ("status", T.STRING)],
+            primary_key=["id"],
+        )
+        for i in range(1, 9):
+            db.table("customers").insert((i, f"cust{i}", "SF" if i % 2 else "NY"))
+        for i in range(1, 41):
+            db.table("orders").insert(
+                (i, (i % 8) + 1, i * 3.5, "open" if i % 2 else "closed")
+            )
+        local = LocalEngine(db).query(self.SQL).sorted()
+        federated = build_engine().query(self.SQL).relation.sorted()
+        assert local.rows == federated.rows
+
+
+class TestParallelism:
+    def test_makespan_serial(self):
+        assert parallel_makespan([1.0, 2.0, 3.0], workers=1) == 6.0
+
+    def test_makespan_fully_parallel(self):
+        assert parallel_makespan([1.0, 2.0, 3.0], workers=3) == 3.0
+
+    def test_makespan_two_workers(self):
+        assert parallel_makespan([3.0, 1.0, 1.0, 1.0], workers=2) == 3.0
+
+    def test_makespan_empty(self):
+        assert parallel_makespan([], workers=4) == 0.0
+
+    def test_parallel_workers_reduce_elapsed(self):
+        sql = (
+            "SELECT c.name, r.region, o.total FROM customers c "
+            "JOIN regions r ON c.city = r.city "
+            "JOIN orders o ON o.cust_id = c.id"
+        )
+        serial = FederatedEngine(build_catalog(), parallel_workers=1).query(sql)
+        parallel = FederatedEngine(build_catalog(), parallel_workers=4).query(sql)
+        assert parallel.relation.sorted().rows == serial.relation.sorted().rows
+        assert parallel.elapsed_seconds <= serial.elapsed_seconds

@@ -1,0 +1,222 @@
+"""Metadata management tests: ontology, registry, matcher, agility."""
+
+import pytest
+
+from repro.common.errors import EIIError
+from repro.metadata import (
+    ChangeImpactAnalyzer,
+    ElementRef,
+    MappingArtifact,
+    MetadataRegistry,
+    Ontology,
+    SchemaChange,
+    SemanticMatcher,
+)
+
+
+def make_ontology():
+    onto = Ontology()
+    onto.add_concept("party")
+    onto.add_concept("customer", parent="party")
+    onto.add_concept("supplier", parent="party")
+    onto.add_concept("identifier")
+    onto.add_concept("customer_id", parent="identifier")
+    onto.add_synonym("client", "customer")
+    onto.add_synonym("cust_id", "customer_id")
+    return onto
+
+
+class TestOntology:
+    def test_subsumption(self):
+        onto = make_ontology()
+        assert onto.is_a("customer", "party")
+        assert not onto.is_a("party", "customer")
+
+    def test_is_a_reflexive(self):
+        assert make_ontology().is_a("customer", "customer")
+
+    def test_synonym_resolution(self):
+        onto = make_ontology()
+        assert onto.canonical("client") == "customer"
+        assert onto.is_a("client", "party")
+
+    def test_related_bidirectional(self):
+        onto = make_ontology()
+        assert onto.related("party", "customer")
+        assert onto.related("customer", "party")
+        assert not onto.related("customer", "supplier")
+
+    def test_ancestors_and_descendants(self):
+        onto = make_ontology()
+        assert onto.ancestors("customer") == ["party"]
+        assert onto.descendants("party") == ["customer", "supplier"]
+
+    def test_unknown_parent_rejected(self):
+        onto = make_ontology()
+        with pytest.raises(EIIError):
+            onto.add_concept("x", parent="ghost")
+
+    def test_duplicate_concept_rejected(self):
+        onto = make_ontology()
+        with pytest.raises(EIIError):
+            onto.add_concept("party")
+
+    def test_synonym_to_unknown_rejected(self):
+        with pytest.raises(EIIError):
+            make_ontology().add_synonym("alias", "ghost")
+
+
+def make_registry():
+    registry = MetadataRegistry(make_ontology())
+    registry.register_source_schema(
+        "crm", {"customers": ["id", "name", "city"]}
+    )
+    registry.register_source_schema(
+        "sales", {"orders": ["id", "cust_id", "total"]}
+    )
+    registry.register_element(
+        ElementRef("crm", "customers", "id"), concept="customer_id"
+    )
+    registry.register_element(
+        ElementRef("sales", "orders", "cust_id"), concept="customer_id"
+    )
+    registry.register_element(
+        ElementRef("crm", "customers"), concept="customer", description="master record"
+    )
+    registry.register_artifact(
+        MappingArtifact(
+            "customer360_view",
+            "gav_view",
+            [
+                ElementRef("crm", "customers", "id"),
+                ElementRef("crm", "customers", "name"),
+                ElementRef("sales", "orders", "cust_id"),
+                ElementRef("sales", "orders", "total"),
+            ],
+            authoring_cost=5.0,
+        )
+    )
+    registry.register_artifact(
+        MappingArtifact(
+            "orders_etl",
+            "etl_job",
+            [ElementRef("sales", "orders")],  # table-level dependency
+            authoring_cost=3.0,
+        )
+    )
+    return registry
+
+
+class TestRegistry:
+    def test_elements_registered(self):
+        registry = make_registry()
+        assert len(registry.elements()) == 2 + 3 + 3  # 2 tables + 6 columns
+
+    def test_concept_annotation(self):
+        registry = make_registry()
+        assert registry.concept_of(ElementRef("crm", "customers", "id")) == "customer_id"
+
+    def test_elements_for_concept_transitive(self):
+        registry = make_registry()
+        ids = registry.elements_for_concept("identifier")
+        assert len(ids) == 2  # both customer_id columns, via subsumption
+
+    def test_description(self):
+        registry = make_registry()
+        assert registry.description_of(ElementRef("crm", "customers")) == "master record"
+
+    def test_unknown_concept_rejected(self):
+        registry = make_registry()
+        with pytest.raises(EIIError):
+            registry.register_element(ElementRef("x", "t", "c"), concept="ghost")
+
+    def test_artifacts_depending_on_column(self):
+        registry = make_registry()
+        affected = registry.artifacts_depending_on(
+            ElementRef("sales", "orders", "total")
+        )
+        names = {artifact.name for artifact in affected}
+        # the view depends on the column; the ETL depends on the whole table
+        assert names == {"customer360_view", "orders_etl"}
+
+    def test_total_authoring_cost(self):
+        registry = make_registry()
+        assert registry.total_authoring_cost() == 8.0
+        assert registry.total_authoring_cost("etl_job") == 3.0
+
+    def test_duplicate_artifact_rejected(self):
+        registry = make_registry()
+        with pytest.raises(EIIError):
+            registry.register_artifact(
+                MappingArtifact("orders_etl", "etl_job", [])
+            )
+
+
+class TestMatcher:
+    def test_concept_agreement_dominates(self):
+        registry = make_registry()
+        matcher = SemanticMatcher(registry, threshold=0.5)
+        suggestions = matcher.suggest("crm", "sales")
+        best = {(str(s.left), str(s.right)) for s in suggestions}
+        assert ("crm.customers.id", "sales.orders.cust_id") in best
+
+    def test_reason_mentions_concept(self):
+        registry = make_registry()
+        matcher = SemanticMatcher(registry, threshold=0.5)
+        suggestion = next(
+            s for s in matcher.suggest("crm", "sales")
+            if str(s.left) == "crm.customers.id"
+        )
+        assert "customer_id" in suggestion.reason
+
+    def test_threshold_filters(self):
+        registry = make_registry()
+        strict = SemanticMatcher(registry, threshold=0.99)
+        assert strict.suggest("crm", "sales") == []
+
+
+class TestAgility:
+    def test_drop_column_impact(self):
+        registry = make_registry()
+        analyzer = ChangeImpactAnalyzer(registry)
+        report = analyzer.analyze(
+            [SchemaChange("drop_column", ElementRef("sales", "orders", "total"))]
+        )
+        assert report.artifacts_touched == 2
+        assert report.total_cost == pytest.approx(5.0 + 3.0)
+
+    def test_rename_cheaper_than_drop(self):
+        registry = make_registry()
+        analyzer = ChangeImpactAnalyzer(registry)
+        element = ElementRef("sales", "orders", "total")
+        drop = analyzer.analyze([SchemaChange("drop_column", element)]).total_cost
+        rename = analyzer.analyze([SchemaChange("rename_column", element)]).total_cost
+        assert rename < drop
+
+    def test_add_column_free(self):
+        registry = make_registry()
+        analyzer = ChangeImpactAnalyzer(registry)
+        report = analyzer.analyze(
+            [SchemaChange("add_column", ElementRef("sales", "orders", "discount"))]
+        )
+        assert report.total_cost == 0.0
+
+    def test_agility_score_bounds(self):
+        registry = make_registry()
+        analyzer = ChangeImpactAnalyzer(registry)
+        score = analyzer.agility(
+            [SchemaChange("rename_column", ElementRef("crm", "customers", "name"))]
+        )
+        assert 0.0 <= score <= 1.0
+
+    def test_unknown_change_kind(self):
+        with pytest.raises(EIIError):
+            SchemaChange("explode", ElementRef("a", "b", "c")).rework_fraction()
+
+    def test_by_kind_breakdown(self):
+        registry = make_registry()
+        analyzer = ChangeImpactAnalyzer(registry)
+        report = analyzer.analyze(
+            [SchemaChange("drop_column", ElementRef("sales", "orders", "total"))]
+        )
+        assert set(report.by_kind()) == {"gav_view", "etl_job"}

@@ -1,0 +1,80 @@
+"""Unit tests for the network simulator and metrics collector."""
+
+import pytest
+
+from repro.netsim import Link, MetricsCollector, NetworkModel, WireFormat
+
+
+class TestNetworkModel:
+    def test_same_site_free(self):
+        net = NetworkModel()
+        assert net.transfer_seconds("a", "a", 10_000) == 0.0
+        assert net.wire_bytes("a", "a", 10_000, WireFormat.BINARY) == 0
+
+    def test_default_link_cost(self):
+        net = NetworkModel(default_link=Link(latency_s=0.01, bandwidth_bps=1000))
+        assert net.transfer_seconds("a", "b", 500) == pytest.approx(0.01 + 0.5)
+
+    def test_specific_link_overrides_default(self):
+        net = NetworkModel()
+        net.set_link("a", "b", Link(latency_s=1.0, bandwidth_bps=1e12))
+        assert net.transfer_seconds("a", "b", 1) == pytest.approx(1.0, abs=1e-6)
+        # symmetric by default
+        assert net.transfer_seconds("b", "a", 1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_asymmetric_link(self):
+        net = NetworkModel()
+        net.set_link("a", "b", Link(latency_s=5.0), symmetric=False)
+        assert net.transfer_seconds("b", "a", 0) == pytest.approx(
+            net.default_link.latency_s
+        )
+
+    def test_xml_inflates_three_times(self):
+        net = NetworkModel(default_link=Link(latency_s=0.0, bandwidth_bps=1000))
+        binary = net.transfer_seconds("a", "b", 900, WireFormat.BINARY)
+        xml = net.transfer_seconds("a", "b", 900, WireFormat.XML)
+        assert xml == pytest.approx(3 * binary)
+        assert net.wire_bytes("a", "b", 900, WireFormat.XML) == 2700
+
+
+class TestMetricsCollector:
+    def test_record_transfer_accumulates(self):
+        metrics = MetricsCollector(
+            network=NetworkModel(default_link=Link(latency_s=0.0, bandwidth_bps=1000))
+        )
+        seconds = metrics.record_transfer("src", "hub", rows=10, payload_bytes=2000)
+        assert seconds == pytest.approx(2.0)
+        assert metrics.rows_shipped == 10
+        assert metrics.payload_bytes == 2000
+        assert metrics.wire_bytes == 2000
+        assert metrics.simulated_seconds == pytest.approx(2.0)
+
+    def test_source_query_counting(self):
+        metrics = MetricsCollector()
+        metrics.record_source_query("crm", seconds=0.5)
+        metrics.record_source_query("crm")
+        metrics.record_source_query("finance")
+        assert metrics.source_queries["crm"] == 2
+        assert metrics.total_source_queries() == 3
+        assert metrics.simulated_seconds == pytest.approx(0.5)
+
+    def test_reset(self):
+        metrics = MetricsCollector()
+        metrics.record_transfer("a", "b", 1, 100)
+        metrics.record_source_query("s")
+        metrics.reset()
+        assert metrics.summary() == {
+            "source_queries": 0,
+            "rows_shipped": 0,
+            "payload_bytes": 0,
+            "wire_bytes": 0,
+            "simulated_seconds": 0.0,
+        }
+
+    def test_summary_keys(self):
+        metrics = MetricsCollector()
+        metrics.record_transfer("a", "b", 5, 100, WireFormat.XML, "result ship")
+        summary = metrics.summary()
+        assert summary["rows_shipped"] == 5
+        assert summary["wire_bytes"] == 300
+        assert metrics.transfers[0].description == "result ship"

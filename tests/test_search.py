@@ -1,0 +1,139 @@
+"""Enterprise search tests: index, ranking, fusion, ACLs."""
+
+import pytest
+
+from repro.common.types import DataType as T
+from repro.search import EnterpriseSearch, InvertedIndex, tokenize_text
+from repro.storage.io import relation_from_rows
+
+
+class TestTokenizer:
+    def test_lowercase_and_split(self):
+        assert tokenize_text("Hello, World-42!") == ["hello", "world", "42"]
+
+    def test_stopwords_removed(self):
+        assert tokenize_text("the cat and the hat") == ["cat", "hat"]
+
+    def test_empty(self):
+        assert tokenize_text("") == []
+
+
+class TestInvertedIndex:
+    def make(self):
+        index = InvertedIndex()
+        index.add(1, "billing dispute escalated for maria santos")
+        index.add(2, "maria santos renewal meeting next week")
+        index.add(3, "network outage postmortem")
+        return index
+
+    def test_basic_search(self):
+        hits = self.make().search("maria")
+        assert {doc for doc, _ in hits} == {1, 2}
+
+    def test_ranking_prefers_denser_match(self):
+        index = InvertedIndex()
+        index.add("short", "maria")
+        index.add("long", "maria " + "filler " * 50)
+        hits = index.search("maria")
+        assert hits[0][0] == "short"
+
+    def test_multi_term_accumulates(self):
+        hits = self.make().search("maria renewal")
+        assert hits[0][0] == 2
+
+    def test_idf_downweights_common_terms(self):
+        index = InvertedIndex()
+        index.add(1, "common common rare")
+        index.add(2, "common")
+        index.add(3, "common")
+        hits = dict(index.search("rare"))
+        assert 1 in hits and 2 not in hits
+
+    def test_no_hits(self):
+        assert self.make().search("zebra") == []
+
+    def test_update_replaces(self):
+        index = self.make()
+        index.add(1, "totally different content")
+        assert 1 not in {doc for doc, _ in index.search("billing")}
+
+    def test_remove(self):
+        index = self.make()
+        index.remove(1)
+        assert len(index) == 2
+        assert 1 not in index
+
+    def test_snippet(self):
+        index = self.make()
+        snippet = index.snippet(1, "dispute")
+        assert "dispute" in snippet
+
+
+def make_search():
+    search = EnterpriseSearch()
+    search.register_documents("notes")
+    search.add_document("notes", "n1", "maria santos renewal pricing discussion")
+    search.add_document(
+        "notes", "n2", "confidential: maria santos credit terms", groups=["finance"]
+    )
+    customers = relation_from_rows(
+        [("id", T.INT), ("name", T.STRING), ("city", T.STRING)],
+        [(7, "Maria Santos", "SF"), (9, "John Smith", "NY")],
+    )
+    search.register_structured(
+        "customers", lambda: customers, key_field="id", text_fields=["name", "city"]
+    )
+    invoices = relation_from_rows(
+        [("id", T.INT), ("memo", T.STRING)],
+        [(501, "maria santos invoice overdue")],
+    )
+    search.register_structured(
+        "invoices",
+        lambda: invoices,
+        key_field="id",
+        text_fields=["memo"],
+        groups=["finance"],
+    )
+    return search
+
+
+class TestEnterpriseSearch:
+    def test_unified_results_span_kinds(self):
+        hits = make_search().search("maria santos", principal_groups=["finance"])
+        kinds = {hit.kind for hit in hits}
+        assert kinds == {"document", "structured"}
+        collections = {hit.collection for hit in hits}
+        assert {"notes", "customers", "invoices"} <= collections
+
+    def test_acl_filters_documents(self):
+        hits = make_search().search("credit terms")
+        assert all(hit.key != "n2" for hit in hits)
+        privileged = make_search().search("credit terms", principal_groups=["finance"])
+        assert any(hit.key == "n2" for hit in privileged)
+
+    def test_acl_filters_structured_collections(self):
+        hits = make_search().search("invoice overdue")
+        assert all(hit.collection != "invoices" for hit in hits)
+
+    def test_structured_match_scoring(self):
+        hits = make_search().search("smith")
+        assert any(hit.collection == "customers" and hit.key == 9 for hit in hits)
+
+    def test_limit(self):
+        hits = make_search().search("maria", principal_groups=["finance"], limit=2)
+        assert len(hits) == 2
+
+    def test_fusion_scores_descending(self):
+        hits = make_search().search("maria santos", principal_groups=["finance"])
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_snippets_present(self):
+        hits = make_search().search("renewal")
+        assert all(hit.snippet for hit in hits)
+
+    def test_empty_query(self):
+        assert make_search().search("") == []
+
+    def test_collections_listing(self):
+        assert make_search().collections() == ["customers", "invoices", "notes"]

@@ -1,0 +1,86 @@
+"""Tests for the federated SQL shell."""
+
+import io
+
+import pytest
+
+from repro.shell import Shell
+
+
+@pytest.fixture(scope="module")
+def shell_output():
+    """Run a scripted session once; tests inspect the transcript."""
+    out = io.StringIO()
+    shell = Shell(scale=1, out=out)
+    script = [
+        "\\tables",
+        "\\sources",
+        "SELECT name, city FROM customers WHERE id = 7",
+        "\\explain SELECT COUNT(*) FROM orders",
+        "SELECT nope FROM customers",
+        "\\metrics",
+        "SELECT COUNT(*) AS n FROM orders",
+        "\\bogus",
+        "\\quit",
+        "SELECT should_never_run FROM customers",
+    ]
+    alive = True
+    for line in script:
+        alive = shell.handle(line)
+        if not alive:
+            break
+    return out.getvalue(), shell
+
+
+class TestShell:
+    def test_tables_listed(self, shell_output):
+        text, _ = shell_output
+        assert "customers" in text and "@crm" in text
+
+    def test_sources_listed(self, shell_output):
+        text, _ = shell_output
+        assert "creditsvc" in text
+        assert "WebServiceSource" in text
+
+    def test_query_executes_with_metrics(self, shell_output):
+        text, _ = shell_output
+        assert "component queries" in text
+
+    def test_explain_shows_plan(self, shell_output):
+        text, _ = shell_output
+        assert "assembly site" in text
+
+    def test_sql_errors_reported_not_raised(self, shell_output):
+        text, _ = shell_output
+        assert "error:" in text
+
+    def test_metrics_toggle(self, shell_output):
+        text, shell = shell_output
+        assert "metrics off" in text
+        assert shell.show_metrics is False
+
+    def test_unknown_command_hint(self, shell_output):
+        text, _ = shell_output
+        assert "unknown command" in text
+
+    def test_quit_stops_session(self, shell_output):
+        text, _ = shell_output
+        assert "should_never_run" not in text
+
+    def test_stream_mode(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.run(stream=io.StringIO("SELECT COUNT(*) AS n FROM customers\n"))
+        assert "200" in out.getvalue()
+
+    def test_main_entry(self, monkeypatch, capsys):
+        import sys
+
+        from repro import shell as shell_module
+
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("SELECT COUNT(*) AS n FROM tickets\n")
+        )
+        monkeypatch.setattr(sys, "argv", ["repro", "--scale=1"])
+        assert shell_module.main() == 0
+        assert "300" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Tests for CSV/JSON import-export round trips."""
+
+import datetime
+import json
+
+from repro.common.types import DataType as T
+from repro.storage.io import (
+    load_csv,
+    relation_from_rows,
+    save_csv,
+    table_from_csv,
+    table_from_rows,
+)
+from repro.storage.io import save_json
+
+COLUMNS = [("id", T.INT), ("name", T.STRING), ("joined", T.DATE), ("score", T.FLOAT)]
+ROWS = [
+    (1, "ann", datetime.date(2004, 5, 1), 9.5),
+    (2, None, datetime.date(2005, 1, 2), None),
+]
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "out.csv"
+        relation = relation_from_rows(COLUMNS, ROWS)
+        save_csv(path, relation)
+        loaded = load_csv(path, COLUMNS)
+        assert loaded == ROWS
+
+    def test_header_written(self, tmp_path):
+        path = tmp_path / "out.csv"
+        save_csv(path, relation_from_rows(COLUMNS, ROWS))
+        first = path.read_text().splitlines()[0]
+        assert first == "id,name,joined,score"
+
+    def test_nulls_become_empty_cells(self, tmp_path):
+        path = tmp_path / "out.csv"
+        save_csv(path, relation_from_rows(COLUMNS, ROWS))
+        second_row = path.read_text().splitlines()[2]
+        assert ",," in second_row
+
+    def test_table_from_csv(self, tmp_path):
+        path = tmp_path / "in.csv"
+        path.write_text("id,name,joined,score\n7,zoe,2005-06-14,1.25\n")
+        table = table_from_csv("t", path, COLUMNS, primary_key=["id"])
+        assert table.get(7) == (7, "zoe", datetime.date(2005, 6, 14), 1.25)
+
+    def test_no_header_mode(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("1,x,2004-01-01,2.0\n")
+        rows = load_csv(path, COLUMNS, has_header=False)
+        assert rows[0][1] == "x"
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "out.csv"
+        save_csv(path, relation_from_rows(COLUMNS, ROWS))
+        assert path.exists()
+
+
+class TestJson:
+    def test_save_json(self, tmp_path):
+        path = tmp_path / "out.json"
+        save_json(path, relation_from_rows(COLUMNS, ROWS))
+        data = json.loads(path.read_text())
+        assert data[0]["name"] == "ann"
+        assert data[1]["name"] is None
+        assert data[0]["joined"] == "2004-05-01"  # dates serialized via str
+
+
+class TestBuilders:
+    def test_table_from_rows(self):
+        table = table_from_rows("t", COLUMNS, ROWS, primary_key=["id"])
+        assert len(table) == 2
+
+    def test_relation_qualifier(self):
+        relation = relation_from_rows(COLUMNS, ROWS, qualifier="q")
+        assert relation.schema.qualified_names[0] == "q.id"
+
+    def test_relation_coerces(self):
+        relation = relation_from_rows([("n", T.INT)], [("42",)])
+        assert relation.rows == [(42,)]

@@ -1,0 +1,106 @@
+"""Stateful property testing of the storage table against a model.
+
+Hypothesis drives random insert/delete/update/vacuum sequences against a
+`Table` while a plain dict models the expected contents; invariants checked
+after every step: row multiset, primary-key map, live count, and index
+consistency (hash and sorted).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.common.errors import IntegrityError
+from repro.common.types import DataType as T
+from repro.storage import Table
+
+KEYS = st.integers(min_value=0, max_value=30)
+VALUES = st.sampled_from(["a", "b", "c", "d"])
+SCORES = st.integers(min_value=0, max_value=100)
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = Table.build(
+            "t",
+            [("id", T.INT), ("tag", T.STRING), ("score", T.INT)],
+            primary_key=["id"],
+        )
+        self.table.create_index("tag")
+        self.table.create_index("score", sorted=True)
+        self.model: dict = {}  # id -> (id, tag, score)
+
+    @rule(key=KEYS, tag=VALUES, score=SCORES)
+    def insert(self, key, tag, score):
+        row = (key, tag, score)
+        if key in self.model:
+            try:
+                self.table.insert(row)
+                raise AssertionError("duplicate PK accepted")
+            except IntegrityError:
+                return
+        else:
+            self.table.insert(row)
+            self.model[key] = row
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        removed = self.table.delete_where(lambda row: row[0] == key)
+        expected = 1 if key in self.model else 0
+        assert removed == expected
+        self.model.pop(key, None)
+
+    @rule(key=KEYS, score=SCORES)
+    def update_score(self, key, score):
+        updated = self.table.update_where(
+            lambda row: row[0] == key,
+            lambda row: (row[0], row[1], score),
+        )
+        if key in self.model:
+            assert updated == 1
+            old = self.model[key]
+            self.model[key] = (old[0], old[1], score)
+        else:
+            assert updated == 0
+
+    @rule()
+    def vacuum(self):
+        self.table.vacuum()
+
+    @invariant()
+    def contents_match_model(self):
+        assert sorted(self.table.rows()) == sorted(self.model.values())
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def primary_key_map_consistent(self):
+        for key, row in self.model.items():
+            assert self.table.get(key) == row
+
+    @invariant()
+    def hash_index_consistent(self):
+        for tag in ("a", "b", "c", "d"):
+            expected = sorted(r for r in self.model.values() if r[1] == tag)
+            assert sorted(self.table.lookup("tag", tag)) == expected
+
+    @invariant()
+    def sorted_index_consistent(self):
+        index = self.table.index_on("score")
+        rids = index.range()
+        rows = [self.table.row_by_id(rid) for rid in rids]
+        assert all(row is not None for row in rows)
+        scores = [row[2] for row in rows]
+        assert scores == sorted(scores)
+        assert sorted(rows) == sorted(self.model.values())
+
+
+TableMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestTableStateMachine = TableMachine.TestCase

@@ -1,0 +1,101 @@
+"""UNION / UNION ALL tests across parser, engine and federation."""
+
+import pytest
+
+from repro.common.errors import ParseError, PlanError
+from repro.sql import parse, to_sql
+from repro.sql.ast import UnionSelect
+
+from tests.federation_fixtures import build_engine
+
+
+class TestParsing:
+    def test_union_all_parsed(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert isinstance(stmt, UnionSelect)
+        assert stmt.all
+        assert len(stmt.selects) == 2
+
+    def test_union_distinct_parsed(self):
+        stmt = parse("SELECT a FROM t UNION SELECT b FROM u")
+        assert not stmt.all
+
+    def test_three_way_chain(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v")
+        assert len(stmt.selects) == 3
+
+    def test_trailing_order_limit_lifted(self):
+        stmt = parse("SELECT a FROM t UNION ALL SELECT a FROM u ORDER BY a DESC LIMIT 3")
+        assert stmt.limit == 3
+        assert stmt.order_by[0].ascending is False
+        assert stmt.selects[-1].limit is None
+        assert stmt.selects[-1].order_by == ()
+
+    def test_mixed_union_kinds_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t UNION SELECT a FROM u UNION ALL SELECT a FROM v")
+
+    def test_print_round_trip(self):
+        text = "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a ASC LIMIT 3"
+        assert to_sql(parse(text)) == text
+
+
+class TestLocalExecution:
+    def test_union_all_keeps_duplicates(self, engine):
+        result = engine.query(
+            "SELECT city FROM customers WHERE id <= 2 "
+            "UNION ALL SELECT city FROM customers WHERE id <= 2"
+        )
+        assert len(result) == 4
+
+    def test_union_deduplicates(self, engine):
+        result = engine.query(
+            "SELECT city FROM customers UNION SELECT city FROM customers"
+        )
+        assert len(result) == 4  # distinct cities only
+
+    def test_union_across_tables(self, engine):
+        result = engine.query(
+            "SELECT status FROM orders UNION SELECT segment FROM customers"
+        )
+        values = set(result.column_values("status"))
+        assert {"open", "closed", "enterprise", "smb"} <= values
+
+    def test_union_order_limit(self, engine):
+        result = engine.query(
+            "SELECT id FROM customers WHERE id <= 3 "
+            "UNION ALL SELECT id FROM customers WHERE id BETWEEN 2 AND 4 "
+            "ORDER BY id DESC LIMIT 2"
+        )
+        assert result.rows == [(4,), (3,)]
+
+    def test_width_mismatch_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query("SELECT id, name FROM customers UNION SELECT id FROM orders")
+
+    def test_unknown_order_column_rejected(self, engine):
+        with pytest.raises(PlanError):
+            engine.query(
+                "SELECT id FROM customers UNION SELECT id FROM orders ORDER BY nope"
+            )
+
+
+class TestFederatedExecution:
+    def test_union_spans_sources(self):
+        engine = build_engine()
+        result = engine.query(
+            "SELECT c.name AS label FROM customers c WHERE c.id = 1 "
+            "UNION ALL SELECT o.status AS label FROM orders o WHERE o.id = 1"
+        )
+        assert sorted(result.relation.rows) == [("cust1",), ("open",)]
+        # each branch became its own component query
+        assert result.metrics.total_source_queries() >= 2
+
+    def test_union_branches_push_down(self):
+        engine = build_engine()
+        plan = engine.planner.plan(
+            "SELECT o.id FROM orders o WHERE o.total > 100 "
+            "UNION ALL SELECT o.id FROM orders o WHERE o.status = 'open'"
+        )
+        assert len(plan.fetches) == 2
+        assert all("WHERE" in str(fetch.stmt) for fetch in plan.fetches)

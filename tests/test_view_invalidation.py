@@ -1,0 +1,116 @@
+"""Tests for automatic change notification and view invalidation."""
+
+import pytest
+
+from repro.eai import MessageBroker
+from repro.views import ChangeNotifier, RefreshPolicy, ViewManager, table_dependencies
+from repro.views.invalidation import wire_invalidation
+
+from tests.federation_fixtures import build_engine
+
+
+class TestTableDependencies:
+    def test_simple_select(self):
+        assert table_dependencies("SELECT a FROM t") == {"t"}
+
+    def test_joins_and_aliases(self):
+        deps = table_dependencies(
+            "SELECT * FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        assert deps == {"customers", "orders"}
+
+    def test_union_branches(self):
+        deps = table_dependencies("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert deps == {"t", "u"}
+
+    def test_case_insensitive(self):
+        assert table_dependencies("SELECT a FROM Orders") == {"orders"}
+
+
+class TestChangeNotifier:
+    def test_publishes_on_version_change(self):
+        engine = build_engine()
+        orders = engine.catalog.sources["sales"].db.table("orders")
+        notifier = ChangeNotifier()
+        notifier.watch("orders", orders)
+        assert notifier.poll() == []  # nothing changed yet
+        orders.insert((999, 1, 5.0, "open"))
+        assert notifier.poll() == ["orders"]
+        topics = [m.topic for m in notifier.broker.log]
+        assert topics == ["table.orders.changed"]
+
+    def test_no_duplicate_events(self):
+        engine = build_engine()
+        orders = engine.catalog.sources["sales"].db.table("orders")
+        notifier = ChangeNotifier()
+        notifier.watch("orders", orders)
+        orders.insert((999, 1, 5.0, "open"))
+        notifier.poll()
+        assert notifier.poll() == []  # second sweep: quiet
+
+    def test_watch_database(self):
+        engine = build_engine()
+        db = engine.catalog.sources["crm"].db
+        notifier = ChangeNotifier()
+        notifier.watch_database(db)
+        db.table("customers").insert((999, "x", "SF"))
+        assert notifier.poll() == ["customers"]
+
+
+class TestWiring:
+    def make(self, eager=False):
+        engine = build_engine()
+        manager = ViewManager(engine)
+        manager.define_materialized(
+            "open_orders",
+            "SELECT id, total FROM orders WHERE status = 'open'",
+            RefreshPolicy.MANUAL,
+        )
+        manager.define_materialized(
+            "cities", "SELECT DISTINCT city FROM customers", RefreshPolicy.MANUAL
+        )
+        broker = MessageBroker()
+        dependencies = wire_invalidation(manager, broker, eager=eager)
+        notifier = ChangeNotifier(broker)
+        sales_db = engine.catalog.sources["sales"].db
+        crm_db = engine.catalog.sources["crm"].db
+        notifier.watch("orders", sales_db.table("orders"))
+        notifier.watch("customers", crm_db.table("customers"))
+        return engine, manager, notifier, dependencies
+
+    def test_dependencies_derived_from_sql(self):
+        _, _, _, dependencies = self.make()
+        assert dependencies["open_orders"] == {"orders"}
+        assert dependencies["cities"] == {"customers"}
+
+    def test_lazy_invalidation_refreshes_on_next_read(self):
+        engine, manager, notifier, _ = self.make()
+        before = len(manager.read("open_orders"))
+        engine.catalog.sources["sales"].db.table("orders").insert(
+            (999, 1, 5.0, "open")
+        )
+        # without a poll, the manual view stays stale
+        assert len(manager.read("open_orders")) == before
+        notifier.poll()
+        assert manager.view("open_orders").dirty
+        assert len(manager.read("open_orders")) == before + 1
+        assert not manager.view("open_orders").dirty
+
+    def test_unrelated_view_untouched(self):
+        engine, manager, notifier, _ = self.make()
+        engine.catalog.sources["sales"].db.table("orders").insert(
+            (999, 1, 5.0, "open")
+        )
+        notifier.poll()
+        assert manager.view("open_orders").dirty
+        assert not manager.view("cities").dirty
+
+    def test_eager_invalidation_refreshes_immediately(self):
+        engine, manager, notifier, _ = self.make(eager=True)
+        refreshes_before = manager.view("open_orders").refresh_count
+        engine.catalog.sources["sales"].db.table("orders").insert(
+            (999, 1, 5.0, "open")
+        )
+        notifier.poll()
+        assert manager.view("open_orders").refresh_count == refreshes_before + 1
+        assert not manager.view("open_orders").dirty

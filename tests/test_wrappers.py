@@ -1,0 +1,111 @@
+"""Dialect and pushability tests."""
+
+import pytest
+
+from repro.sql import parse_expression, parse_select
+from repro.wrappers import (
+    ACMEDB,
+    CONSERVATIVE,
+    GENERIC,
+    LEGACYSQL,
+    QUIRK_AWARE,
+    can_push_expr,
+    can_push_select,
+    fidelity_levels,
+    unsupported_reasons,
+)
+from repro.sql.printer import expr_to_sql, to_sql
+
+
+class TestCanPushExpr:
+    def test_comparison_pushes_everywhere(self):
+        expr = parse_expression("a > 3")
+        for dialect in (GENERIC, CONSERVATIVE, QUIRK_AWARE, LEGACYSQL):
+            assert can_push_expr(expr, dialect)
+
+    def test_like_blocked_on_generic(self):
+        expr = parse_expression("name LIKE 'a%'")
+        assert not can_push_expr(expr, GENERIC)
+        assert can_push_expr(expr, CONSERVATIVE)
+
+    def test_in_blocked_on_legacy(self):
+        expr = parse_expression("x IN (1, 2)")
+        assert not can_push_expr(expr, LEGACYSQL)
+        assert can_push_expr(expr, CONSERVATIVE)
+
+    def test_or_blocked_on_generic(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert not can_push_expr(expr, GENERIC)
+        assert can_push_expr(expr, CONSERVATIVE)
+
+    def test_function_membership(self):
+        expr = parse_expression("UPPER(name) = 'X'")
+        assert not can_push_expr(expr, GENERIC)
+        assert can_push_expr(expr, CONSERVATIVE)
+        assert can_push_expr(expr, QUIRK_AWARE)
+
+    def test_vendor_function_only_on_quirk_aware(self):
+        expr = parse_expression("YEAR(d) = 2005")
+        assert not can_push_expr(expr, CONSERVATIVE)
+        assert can_push_expr(expr, QUIRK_AWARE)
+
+    def test_arithmetic_blocked_on_generic(self):
+        expr = parse_expression("a + 1 > 2")
+        assert not can_push_expr(expr, GENERIC)
+
+    def test_aggregate_requires_capability(self):
+        expr = parse_expression("SUM(x)")
+        assert not can_push_expr(expr, CONSERVATIVE)
+        assert can_push_expr(expr, QUIRK_AWARE)
+
+    def test_reasons_are_descriptive(self):
+        reasons = unsupported_reasons(parse_expression("name LIKE 'a%'"), GENERIC)
+        assert any("LIKE" in reason for reason in reasons)
+
+    def test_and_is_transparent(self):
+        expr = parse_expression("a = 1 AND b = 2")
+        assert can_push_expr(expr, GENERIC)
+
+
+class TestCanPushSelect:
+    def test_join_capability(self):
+        stmt = parse_select("SELECT a.x FROM t a JOIN u b ON a.id = b.id")
+        assert not can_push_select(stmt, GENERIC)
+        assert can_push_select(stmt, CONSERVATIVE)
+
+    def test_aggregate_capability(self):
+        stmt = parse_select("SELECT COUNT(*) FROM t GROUP BY x")
+        assert not can_push_select(stmt, CONSERVATIVE)
+        assert can_push_select(stmt, QUIRK_AWARE)
+
+    def test_order_limit_capability(self):
+        stmt = parse_select("SELECT x FROM t ORDER BY x LIMIT 3")
+        assert not can_push_select(stmt, CONSERVATIVE)
+        assert can_push_select(stmt, QUIRK_AWARE)
+
+    def test_fidelity_levels_are_ordered(self):
+        levels = fidelity_levels()
+        expr = parse_expression("name LIKE 'a%' AND x BETWEEN 1 AND 2")
+        pushable = [
+            can_push_expr(expr, dialect) for dialect in levels.values()
+        ]
+        # generic < conservative <= quirk_aware in what they accept
+        assert pushable == [False, True, True]
+
+
+class TestDialectPrinting:
+    def test_acmedb_spellings(self):
+        expr = parse_expression("SUBSTR(name, 1, 2) || 'x'")
+        text = expr_to_sql(expr, ACMEDB.print_options)
+        assert "SUBSTRING" in text
+        assert " + " in text
+
+    def test_acmedb_integer_booleans(self):
+        expr = parse_expression("active = TRUE")
+        assert "1" in expr_to_sql(expr, ACMEDB.print_options)
+
+    def test_statement_in_dialect(self):
+        stmt = parse_select("SELECT LENGTH(name) FROM t")
+        from repro.wrappers.dialects import BIZBASE
+
+        assert "LEN(" in to_sql(stmt, BIZBASE.print_options)
