@@ -1,0 +1,45 @@
+"""Canonical cache keys, built on the existing SQL printer.
+
+Two query texts that differ only in whitespace, case of keywords, or other
+surface syntax parse to the same AST — printing that AST back with
+`repro.sql.printer.to_sql` yields one canonical spelling, which is the
+cache key. This is what lets the plan cache treat
+
+    SELECT name FROM customers WHERE id = 1
+    select name  from customers where id=1
+
+as the same query shape: one parse (cheap) replaces the whole
+reformulate/optimize/decompose pipeline (expensive) on a hit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.sql.ast import Select, UnionSelect
+from repro.sql.printer import to_sql
+
+
+def canonical_statement(query) -> Tuple[object, Optional[str]]:
+    """Normalize a query input to `(statement, canonical_text)`.
+
+    Textual queries are parsed once (the parse is reused downstream, so a
+    cache miss costs no extra work); SELECT ASTs are printed directly.
+    Anything else — e.g. an already-built `LogicalPlan` — passes through
+    with no key, and therefore bypasses the text-keyed cache levels.
+    """
+    if isinstance(query, str):
+        from repro.sql.parser import parse
+
+        statement = parse(query)
+        if isinstance(statement, (Select, UnionSelect)):
+            return statement, to_sql(statement)
+        return statement, None
+    if isinstance(query, (Select, UnionSelect)):
+        return query, to_sql(query)
+    return query, None
+
+
+def fetch_key(source_name: str, stmt) -> Tuple[str, str]:
+    """Key for one component fetch: `(source, canonical pushed-down SQL)`."""
+    return (source_name, to_sql(stmt))

@@ -1,4 +1,10 @@
-"""Federated execution: parallel component fetches + assembly-site evaluation."""
+"""Federated execution: parallel component fetches + assembly-site evaluation.
+
+The engine runs behind a three-level `repro.cache.CacheHierarchy`:
+whole-result lookups first, then plan reuse, then per-component fetch
+reuse during execution. Attach the hierarchy to an EAI broker (or call
+`FederatedEngine.attach_invalidation`) so writes evict dependent entries.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +13,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.common.errors import AdmissionError
+from repro.cache import CacheConfig, CacheHierarchy, canonical_statement, fetch_key
+from repro.common.errors import AdmissionError, PlanError
 from repro.common.relation import Relation
 from repro.engine.cost import CostModel
 from repro.engine.executor import LocalEngine
@@ -17,7 +24,7 @@ from repro.federation.nodes import LogicalBindJoin, LogicalFetch, with_in_filter
 from repro.federation.planner import FederatedPlan, FederatedPlanner
 from repro.netsim.metrics import MetricsCollector
 from repro.netsim.network import NetworkModel
-from repro.sql.ast import Select
+from repro.sql.ast import Select, UnionSelect
 from repro.storage.catalog import Database
 
 #: Simulated seconds per local cost unit at the assembly site.
@@ -64,19 +71,40 @@ class FederatedResult:
 
 
 class _FetchRuntime:
-    """Shared state the fetch/bind-join nodes use during one execution."""
+    """Shared state the fetch/bind-join nodes use during one execution.
+
+    `local` memoizes per-plan-node results within one execution (a node
+    referenced twice runs once); the engine's cache hierarchy provides the
+    *cross-query* fetch store keyed by `(source, canonical SQL)`.
+    """
 
     def __init__(self, engine: "FederatedEngine", metrics: MetricsCollector, site: str):
         self.engine = engine
         self.metrics = metrics
         self.site = site
-        self.cache: dict[int, Relation] = {}
+        self.local: dict[int, Relation] = {}
+
+    @property
+    def _store(self):
+        return self.engine.cache.fetches if self.engine.cache is not None else None
 
     def fetch(self, node: LogicalFetch, metrics: Optional[MetricsCollector] = None) -> Relation:
-        cached = self.cache.get(id(node))
+        cached = self.local.get(id(node))
         if cached is not None:
             return cached
         collector = metrics if metrics is not None else self.metrics
+        key = fetch_key(node.source.name, node.stmt) if self._store is not None else None
+        if key is not None:
+            entry = self.engine.cache.get_fetch(key)
+            if entry is not None:
+                collector.fetch_cache_hits += 1
+                collector.cache_seconds_saved += entry.cost_seconds
+                collector.cache_bytes_saved += entry.size_bytes
+                result = Relation(node.schema, entry.value.rows)
+                self.local[id(node)] = result
+                return result
+            collector.fetch_cache_misses += 1
+        before = collector.simulated_seconds
         raw = node.source.execute_select(node.stmt, collector)
         collector.record_transfer(
             node.source.name,
@@ -86,17 +114,37 @@ class _FetchRuntime:
             wire_format=node.source.capabilities.wire_format,
             description=f"fetch from {node.source.name}",
         )
+        if key is not None:
+            self.engine.cache.put_fetch(
+                key,
+                raw,
+                tags=node.depends_on,
+                cost_seconds=collector.simulated_seconds - before,
+            )
         # Relabel positionally: the residual plan resolves against the
         # schema of the subtree the fetch replaced.
         result = Relation(node.schema, raw.rows)
-        self.cache[id(node)] = result
+        self.local[id(node)] = result
         return result
 
     def bind_fetch(self, node: LogicalBindJoin, keys: list) -> Relation:
+        if not keys:
+            return Relation(node.fetch_schema, [])
         rows: list[tuple] = []
         for start in range(0, len(keys), node.max_inlist):
             chunk = keys[start : start + node.max_inlist]
             stmt = with_in_filter(node.template, node.right_key, chunk)
+            key = fetch_key(node.source.name, stmt) if self._store is not None else None
+            if key is not None:
+                entry = self.engine.cache.get_fetch(key)
+                if entry is not None:
+                    self.metrics.fetch_cache_hits += 1
+                    self.metrics.cache_seconds_saved += entry.cost_seconds
+                    self.metrics.cache_bytes_saved += entry.size_bytes
+                    rows.extend(entry.value.rows)
+                    continue
+                self.metrics.fetch_cache_misses += 1
+            before = self.metrics.simulated_seconds
             raw = node.source.execute_select(stmt, self.metrics)
             self.metrics.record_transfer(
                 node.source.name,
@@ -106,9 +154,14 @@ class _FetchRuntime:
                 wire_format=node.source.capabilities.wire_format,
                 description=f"bind fetch from {node.source.name} ({len(chunk)} keys)",
             )
+            if key is not None:
+                self.engine.cache.put_fetch(
+                    key,
+                    raw,
+                    tags=node.depends_on,
+                    cost_seconds=self.metrics.simulated_seconds - before,
+                )
             rows.extend(raw.rows)
-        if not keys:
-            return Relation(node.fetch_schema, [])
         return Relation(node.fetch_schema, rows)
 
 
@@ -125,6 +178,7 @@ class FederatedEngine:
         planner: Optional[FederatedPlanner] = None,
         admission_budget_s: Optional[float] = None,
         cache_ttl_s: Optional[float] = None,
+        cache: Optional[CacheHierarchy] = None,
         clock=time.time,
     ):
         self.catalog = catalog
@@ -138,10 +192,23 @@ class FederatedEngine:
         )
         #: reject queries predicted to run longer than this (None = admit all)
         self.admission_budget_s = admission_budget_s
-        #: serve repeated text queries from cache within this TTL (None = off)
+        #: legacy knob: enables the whole-result level with this TTL
         self.cache_ttl_s = cache_ttl_s
         self.clock = clock
-        self._cache: dict[str, tuple[float, FederatedResult]] = {}
+        if cache is None:
+            # Default: plan caching on (pure win — plans depend only on the
+            # schema); fetch caching off so repeated queries observably
+            # re-hit sources unless the caller opts in; result level only
+            # when the legacy TTL knob asks for it.
+            cache = CacheHierarchy(
+                CacheConfig(
+                    fetch_enabled=False,
+                    result_enabled=cache_ttl_s is not None,
+                    result_ttl_s=cache_ttl_s,
+                ),
+                clock=clock,
+            )
+        self.cache = cache
         self._scratch = Database("assembly")
         self._local = LocalEngine(self._scratch, optimize=False)
 
@@ -149,20 +216,29 @@ class FederatedEngine:
 
     def query(self, query: Union[str, Select, LogicalPlan]) -> FederatedResult:
         """Plan and execute a federated query (cache- and admission-aware)."""
-        cache_key = query if isinstance(query, str) else None
-        if cache_key is not None and self.cache_ttl_s is not None:
-            hit = self._cache.get(cache_key)
-            if hit is not None and self.clock() - hit[0] <= self.cache_ttl_s:
-                cached = hit[1]
+        statement, canonical = canonical_statement(query)
+        if not isinstance(statement, (Select, UnionSelect, LogicalPlan)):
+            raise PlanError("federated queries must be SELECT statements")
+        # The result level keeps its historical contract: only *textual*
+        # queries are served whole from cache (now under the canonical key,
+        # so reformatted spellings of one query share an entry).
+        result_key = canonical if isinstance(query, str) else None
+        if result_key is not None:
+            hit = self.cache.get_result(result_key)
+            if hit is not None:
                 return FederatedResult(
-                    cached.relation,
-                    cached.plan,
-                    cached.metrics,
-                    cached.fetch_seconds,
+                    hit.relation,
+                    hit.plan,
+                    hit.metrics,
+                    hit.fetch_seconds,
                     elapsed_seconds=0.0,
                     from_cache=True,
                 )
-        plan = self.planner.plan(query)
+        plan = self.cache.get_plan(canonical)
+        plan_was_cached = plan is not None
+        if plan is None:
+            plan = self.planner.plan(statement)
+            self.cache.put_plan(canonical, plan)
         if self.admission_budget_s is not None:
             predicted = self.predict_elapsed(plan)
             if predicted > self.admission_budget_s:
@@ -172,9 +248,21 @@ class FederatedEngine:
                     predicted_seconds=predicted,
                 )
         result = self.execute_plan(plan)
-        if cache_key is not None and self.cache_ttl_s is not None:
-            self._cache[cache_key] = (self.clock(), result)
+        if plan_was_cached:
+            result.metrics.plan_cache_hits += 1
+        if result_key is not None:
+            self.cache.put_result(
+                result_key,
+                result,
+                tags=plan.table_dependencies(),
+                size_bytes=result.relation.size_bytes(),
+                cost_seconds=result.elapsed_seconds,
+            )
         return result
+
+    def attach_invalidation(self, broker) -> None:
+        """Evict dependent cache entries on `table.<name>.changed` events."""
+        self.cache.attach(broker)
 
     def predict_elapsed(self, plan: FederatedPlan) -> float:
         """Pre-execution prediction of simulated elapsed seconds.
@@ -258,12 +346,7 @@ class FederatedEngine:
                 collectors = list(pool.map(run_one, fetches))
         for collector in collectors:
             durations.append(collector.simulated_seconds)
-            metrics.transfers.extend(collector.transfers)
-            metrics.source_queries.update(collector.source_queries)
-            metrics.simulated_seconds += collector.simulated_seconds
-            metrics.rows_shipped += collector.rows_shipped
-            metrics.payload_bytes += collector.payload_bytes
-            metrics.wire_bytes += collector.wire_bytes
+            metrics.merge(collector)
         return durations
 
     def _assembly_cost(self, plan: FederatedPlan) -> float:

@@ -37,6 +37,7 @@ class LogicalFetch(LogicalPlan):
         schema: RelSchema,
         est_rows: float = 1000.0,
         est: Optional[PlanCost] = None,
+        depends_on: frozenset = frozenset(),
     ):
         self.stmt = stmt
         self.source = source
@@ -45,6 +46,9 @@ class LogicalFetch(LogicalPlan):
         #: full estimate of the replaced subtree (keeps column statistics so
         #: joins above the fetch stay well-estimated at the assembly site)
         self.est = est
+        #: lower-cased global+local names of the tables this fetch reads;
+        #: cache entries built from it are tagged with these for invalidation
+        self.depends_on = depends_on
         self.runtime = None  # injected by FederatedEngine before lowering
 
     def label(self):
@@ -103,6 +107,7 @@ class LogicalBindJoin(LogicalPlan):
         residual: Optional[Expr] = None,
         max_inlist: int = DEFAULT_MAX_INLIST,
         est_rows: float = 1000.0,
+        depends_on: frozenset = frozenset(),
     ):
         if kind not in ("INNER", "LEFT"):
             raise PlanError(f"bind join does not support kind {kind!r}")
@@ -116,6 +121,8 @@ class LogicalBindJoin(LogicalPlan):
         self.residual = residual
         self.max_inlist = max_inlist
         self.est_rows = est_rows
+        #: table names (lower-cased) the probed side reads, for invalidation
+        self.depends_on = depends_on
         self.schema = left.schema.concat(fetch_schema)
         self.runtime = None
 
@@ -136,6 +143,7 @@ class LogicalBindJoin(LogicalPlan):
             self.residual,
             self.max_inlist,
             self.est_rows,
+            self.depends_on,
         )
         node.runtime = self.runtime
         return node

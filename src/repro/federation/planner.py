@@ -73,6 +73,21 @@ class FederatedPlan:
         lines.append(self.root.pretty())
         return "\n".join(lines)
 
+    def table_dependencies(self) -> frozenset:
+        """Lower-cased names of every source table this plan reads.
+
+        The union of per-fetch/bind-join dependency tags (plus any residual
+        scans); the cache hierarchy tags result entries with this set so a
+        write to any underlying table invalidates them.
+        """
+        tags: set = set()
+        for node in self.root.walk():
+            if isinstance(node, (LogicalFetch, LogicalBindJoin)):
+                tags |= node.depends_on
+            elif isinstance(node, LogicalScan):
+                tags.add(node.table_name.lower())
+        return frozenset(tags)
+
 
 @dataclass
 class _Info:
@@ -273,7 +288,29 @@ class FederatedPlanner:
         stmt = plan_to_select(subtree, self.catalog)
         est = self.cost_model.estimate(subtree)
         source = self.catalog.sources[source_name]
-        return LogicalFetch(stmt, source, subtree.schema, est.rows, est)
+        return LogicalFetch(
+            stmt,
+            source,
+            subtree.schema,
+            est.rows,
+            est,
+            depends_on=self._dependencies_of(subtree),
+        )
+
+    def _dependencies_of(self, subtree: LogicalPlan) -> frozenset:
+        """Cache-invalidation tags for a pushable subtree.
+
+        Both the global and the source-local spelling of each scanned table
+        are included, so change events keyed either way (the mediator
+        publishes global names, `ChangeNotifier.watch_database` local ones)
+        hit the same entries.
+        """
+        tags: set = set()
+        for node in subtree.walk():
+            if isinstance(node, LogicalScan):
+                tags.add(node.table_name.lower())
+                tags.add(self.catalog.entry(node.table_name).local_name.lower())
+        return frozenset(tags)
 
     # -- bind joins --------------------------------------------------------------------
 
@@ -368,12 +405,14 @@ class FederatedPlanner:
             source = right.source
             fetch_schema = right.schema
             est = right.est_rows
+            depends_on = right.depends_on
         else:
             info = self._analyze(right)
             source = self.catalog.sources[info.single_source]
             template = plan_to_select(right, self.catalog)
             fetch_schema = right.schema
             est = self.cost_model.estimate(right).rows
+            depends_on = self._dependencies_of(right)
         # For binding-pattern tables the probe must target the bound column.
         bound = source.capabilities.required_binding(
             template.from_tables[0].name if template.from_tables else ""
@@ -395,6 +434,7 @@ class FederatedPlanner:
             residual=conjoin(residual),
             max_inlist=self.max_inlist,
             est_rows=est,
+            depends_on=depends_on,
         )
 
     # -- validation -----------------------------------------------------------------

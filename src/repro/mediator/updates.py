@@ -44,9 +44,15 @@ class UpdateSagaGenerator:
     the honest limitation of view updating.
     """
 
-    def __init__(self, mediated_schema, catalog):
+    def __init__(self, mediated_schema, catalog, broker=None):
         self.schema = mediated_schema
         self.catalog = catalog
+        #: when given, every step (and every compensation) that mutates a
+        #: source table publishes `table.<name>.changed` — the same event
+        #: `ChangeNotifier` emits — so view staleness and mediator-cache
+        #: invalidation react to writes through this path immediately,
+        #: without waiting for a notifier poll sweep.
+        self.broker = broker
 
     # -- lineage analysis ---------------------------------------------------------
 
@@ -161,6 +167,13 @@ class UpdateSagaGenerator:
             )
         return ProcessDefinition(f"update_{view_name}", steps)
 
+    def _notify_changed(self, table_name: str, table) -> None:
+        if self.broker is not None:
+            self.broker.publish(
+                f"table.{table_name.lower()}.changed",
+                {"table": table_name.lower(), "version": table.version},
+            )
+
     def _table_step(self, table_name, local_key, key_value, targets) -> Step:
         entry = self.catalog.entry(table_name)
         source = entry.source
@@ -192,6 +205,8 @@ class UpdateSagaGenerator:
             changed = table.update_where(
                 lambda row: row[key_position] == key_value, updater
             )
+            if changed:
+                self._notify_changed(table_name, table)
             return changed
 
         def compensate(context: dict):
@@ -205,8 +220,10 @@ class UpdateSagaGenerator:
                 lambda row: row[key_position] == key_value,
                 lambda _row: next(iterator),
             )
+            self._notify_changed(table_name, table)
 
         columns = ", ".join(target.column for target, _ in targets)
+
         return Step(
             name=f"update {table_name}({columns})",
             action=action,

@@ -3,13 +3,15 @@
 Every remote interaction of the federation layer funnels through
 `MetricsCollector.record_transfer` / `record_source_query`, which is what
 the benchmark harness reads to report bytes shipped, rows moved, per-source
-query counts and simulated elapsed time.
+query counts and simulated elapsed time. The cache hierarchy reports its
+per-query telemetry (plan/fetch hits, work saved) through the same
+collector so EXPLAIN output and benchmarks see one coherent account.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 from repro.netsim.network import NetworkModel, WireFormat
@@ -37,6 +39,13 @@ class MetricsCollector:
     rows_shipped: int = 0
     payload_bytes: int = 0
     wire_bytes: int = 0
+    # cache telemetry (populated by the cache hierarchy / federated engine)
+    plan_cache_hits: int = 0
+    fetch_cache_hits: int = 0
+    fetch_cache_misses: int = 0
+    result_cache_hits: int = 0
+    cache_seconds_saved: float = 0.0
+    cache_bytes_saved: int = 0
 
     def record_transfer(
         self,
@@ -71,6 +80,26 @@ class MetricsCollector:
     def total_source_queries(self) -> int:
         return sum(self.source_queries.values())
 
+    def merge(self, other: "MetricsCollector") -> None:
+        """Fold another collector's counters into this one.
+
+        Field-generic on purpose: lists extend, Counters update, numeric
+        counters add, and the network model is left alone — so a counter
+        added to this dataclass is merged automatically instead of being
+        silently dropped by a hand-copied field list.
+        """
+        for spec in fields(self):
+            if spec.name == "network":
+                continue
+            mine = getattr(self, spec.name)
+            theirs = getattr(other, spec.name)
+            if isinstance(mine, list):
+                mine.extend(theirs)
+            elif isinstance(mine, Counter):
+                mine.update(theirs)
+            elif isinstance(mine, (int, float)):
+                setattr(self, spec.name, mine + theirs)
+
     def reset(self) -> None:
         self.transfers.clear()
         self.source_queries.clear()
@@ -78,13 +107,35 @@ class MetricsCollector:
         self.rows_shipped = 0
         self.payload_bytes = 0
         self.wire_bytes = 0
+        self.plan_cache_hits = 0
+        self.fetch_cache_hits = 0
+        self.fetch_cache_misses = 0
+        self.result_cache_hits = 0
+        self.cache_seconds_saved = 0.0
+        self.cache_bytes_saved = 0
 
     def summary(self) -> dict:
-        """Flat dict used by EXPLAIN output and the benchmark harness."""
-        return {
+        """Flat dict used by EXPLAIN output and the benchmark harness.
+
+        The base counters are always present; cache telemetry appears only
+        once any cache level has actually been exercised, keeping the
+        compact summary stable for cache-less runs.
+        """
+        out = {
             "source_queries": self.total_source_queries(),
             "rows_shipped": self.rows_shipped,
             "payload_bytes": self.payload_bytes,
             "wire_bytes": self.wire_bytes,
             "simulated_seconds": round(self.simulated_seconds, 6),
         }
+        cache = {
+            "plan_cache_hits": self.plan_cache_hits,
+            "fetch_cache_hits": self.fetch_cache_hits,
+            "fetch_cache_misses": self.fetch_cache_misses,
+            "result_cache_hits": self.result_cache_hits,
+            "cache_seconds_saved": round(self.cache_seconds_saved, 6),
+            "cache_bytes_saved": self.cache_bytes_saved,
+        }
+        if any(cache.values()):
+            out.update(cache)
+        return out

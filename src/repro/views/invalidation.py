@@ -94,11 +94,27 @@ class ChangeNotifier:
         return changed
 
 
+def wire_cache_invalidation(cache, broker: MessageBroker) -> None:
+    """Evict mediator-cache entries when a table's change event fires.
+
+    `cache` is a `repro.cache.CacheHierarchy` (or anything exposing
+    `invalidate_table`); fetch- and result-level entries tagged with the
+    changed table are dropped, so no query can read through the cache past
+    a write that the broker has announced.
+    """
+
+    def on_change(message):
+        cache.invalidate_table(message.payload["table"])
+
+    broker.subscribe("table.*.changed", on_change)
+
+
 def wire_invalidation(
     manager: ViewManager,
     broker: MessageBroker,
     eager: bool = False,
     mediated_schema=None,
+    cache=None,
 ) -> dict:
     """Subscribe every materialized view to its tables' change events.
 
@@ -106,8 +122,12 @@ def wire_invalidation(
     hand; pass `mediated_schema` so views over GAV virtual tables depend on
     the source tables underneath. `eager=True` refreshes immediately on
     notification; the default marks the view dirty so the next read
-    refreshes (cheaper under bursts). Returns `{view: {tables}}`.
+    refreshes (cheaper under bursts). Pass `cache` (a
+    `repro.cache.CacheHierarchy`) to also evict dependent fetch/result
+    cache entries on the same events. Returns `{view: {tables}}`.
     """
+    if cache is not None:
+        wire_cache_invalidation(cache, broker)
     dependencies = {
         name: table_dependencies(manager.view(name).sql, mediated_schema)
         for name in manager.names()

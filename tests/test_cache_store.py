@@ -1,0 +1,146 @@
+"""Tests for the bounded cache store (repro.cache.store)."""
+
+from repro.cache import BoundedStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCapacityBounds:
+    def test_entry_capacity_never_exceeded(self):
+        """Regression: the old engine dict grew without bound."""
+        store = BoundedStore("t", max_entries=5)
+        for i in range(50):
+            store.put(f"k{i}", i)
+            assert len(store) <= 5
+        assert len(store) == 5
+        assert store.stats.evictions_lru == 45
+
+    def test_byte_capacity_never_exceeded(self):
+        store = BoundedStore("t", max_bytes=100)
+        for i in range(50):
+            store.put(f"k{i}", i, size_bytes=30)
+            assert store.total_bytes <= 100
+        assert len(store) == 3
+
+    def test_oversize_value_rejected(self):
+        store = BoundedStore("t", max_bytes=100)
+        store.put("small", 1, size_bytes=10)
+        assert not store.put("huge", 2, size_bytes=1000)
+        assert "huge" not in store
+        assert store.get("small") == 1
+        assert store.stats.rejections == 1
+
+    def test_replacement_does_not_double_count_bytes(self):
+        store = BoundedStore("t", max_bytes=100)
+        store.put("k", 1, size_bytes=60)
+        store.put("k", 2, size_bytes=60)
+        assert store.total_bytes == 60
+        assert store.get("k") == 2
+
+
+class TestLruOrder:
+    def test_least_recently_used_goes_first(self):
+        store = BoundedStore("t", max_entries=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.get("a")  # touch: b becomes LRU
+        store.put("c", 3)
+        assert store.get("a") == 1
+        assert store.get("b") is None
+        assert store.get("c") == 3
+
+
+class TestTtl:
+    def make(self, ttl=10.0):
+        clock = FakeClock()
+        return BoundedStore("t", ttl_s=ttl, clock=clock), clock
+
+    def test_expired_entry_misses(self):
+        store, clock = self.make()
+        store.put("k", 1)
+        clock.now = 11.0
+        assert store.get("k") is None
+        assert store.stats.misses == 1
+
+    def test_entry_at_exact_ttl_still_lives(self):
+        store, clock = self.make()
+        store.put("k", 1)
+        clock.now = 10.0
+        assert store.get("k") == 1
+
+    def test_writes_purge_expired_entries(self):
+        """Regression: expired TTL entries used to linger forever."""
+        store, clock = self.make()
+        for i in range(10):
+            store.put(f"old{i}", i)
+        clock.now = 11.0
+        store.put("fresh", 99)
+        assert len(store) == 1
+        assert store.stats.evictions_ttl == 10
+
+    def test_explicit_purge(self):
+        store, clock = self.make()
+        store.put("k", 1)
+        clock.now = 11.0
+        assert store.purge_expired() == 1
+        assert len(store) == 0
+
+
+class TestTagInvalidation:
+    def test_invalidate_tag_evicts_only_tagged(self):
+        store = BoundedStore("t")
+        store.put("q1", 1, tags=["orders", "customers"])
+        store.put("q2", 2, tags=["orders"])
+        store.put("q3", 3, tags=["regions"])
+        assert store.invalidate_tag("ORDERS") == 2  # case-insensitive
+        assert store.get("q1") is None
+        assert store.get("q2") is None
+        assert store.get("q3") == 3
+        assert store.stats.evictions_invalidated == 2
+
+    def test_invalidate_key(self):
+        store = BoundedStore("t")
+        store.put("k", 1)
+        assert store.invalidate_key("k")
+        assert not store.invalidate_key("k")
+        assert store.get("k") is None
+
+    def test_tag_index_follows_evictions(self):
+        store = BoundedStore("t", max_entries=1)
+        store.put("a", 1, tags=["x"])
+        store.put("b", 2, tags=["x"])  # evicts a
+        assert store.invalidate_tag("x") == 1
+
+
+class TestStats:
+    def test_hit_miss_and_savings_accounting(self):
+        store = BoundedStore("t")
+        store.put("k", 1, size_bytes=500, cost_seconds=0.25)
+        assert store.get("k") == 1
+        assert store.get("k") == 1
+        assert store.get("absent") is None
+        stats = store.stats
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_rate() == 2 / 3
+        assert stats.seconds_saved == 0.5
+        assert stats.bytes_saved == 1000
+
+    def test_summary_keys(self):
+        store = BoundedStore("t")
+        summary = store.stats.summary()
+        assert {"hits", "misses", "hit_rate", "insertions"} <= set(summary)
+
+    def test_clear(self):
+        store = BoundedStore("t")
+        store.put("k", 1, size_bytes=10, tags=["x"])
+        store.clear()
+        assert len(store) == 0
+        assert store.total_bytes == 0
+        assert store.invalidate_tag("x") == 0

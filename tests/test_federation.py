@@ -235,6 +235,43 @@ class TestBindJoins:
         assert result.metrics.source_queries[probed] == 3
         assert len(result.relation) == 40
 
+    def run_chunked(self, max_inlist, sql=None):
+        engine = FederatedEngine(build_catalog(), semijoin="force")
+        engine.planner.max_inlist = max_inlist
+        plan = engine.planner.plan(
+            sql
+            or "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
+        )
+        binds = [n for n in plan.root.walk() if isinstance(n, LogicalBindJoin)]
+        assert len(binds) == 1
+        result = engine.execute_plan(plan)
+        return result, binds[0].source.name
+
+    def test_bind_fetch_exact_inlist_boundary_single_chunk(self):
+        # 8 distinct keys with max_inlist=8: exactly one probe, no empty tail.
+        result, probed = self.run_chunked(8)
+        assert result.metrics.source_queries[probed] == 1
+        assert len(result.relation) == 40
+
+    def test_bind_fetch_one_over_the_boundary(self):
+        # 8 keys at 7 per chunk: a full chunk plus a 1-key remainder.
+        result, probed = self.run_chunked(7)
+        assert result.metrics.source_queries[probed] == 2
+        assert len(result.relation) == 40
+
+    def test_bind_fetch_empty_key_list_probes_nothing(self):
+        # No left rows survive the filter, so the probed source must not
+        # receive a single component query.
+        result, probed = self.run_chunked(
+            3,
+            sql=(
+                "SELECT c.name, o.total FROM customers c "
+                "JOIN orders o ON c.id = o.cust_id WHERE c.id = 99"
+            ),
+        )
+        assert result.metrics.source_queries[probed] == 0
+        assert len(result.relation) == 0
+
 
 class TestEquivalenceAcrossModes:
     SQL = (
@@ -290,6 +327,17 @@ class TestParallelism:
 
     def test_makespan_empty(self):
         assert parallel_makespan([], workers=4) == 0.0
+
+    def test_makespan_more_workers_than_tasks(self):
+        # Extra slots stay idle; elapsed is the longest single task.
+        assert parallel_makespan([2.0, 5.0], workers=16) == 5.0
+
+    def test_makespan_single_worker_equals_sum(self):
+        durations = [0.25, 1.5, 0.125, 3.0, 0.0625]
+        assert parallel_makespan(durations, workers=1) == sum(durations)
+
+    def test_makespan_zero_workers_clamped_to_one(self):
+        assert parallel_makespan([1.0, 2.0], workers=0) == 3.0
 
     def test_parallel_workers_reduce_elapsed(self):
         sql = (
