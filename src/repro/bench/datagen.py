@@ -84,24 +84,34 @@ class EnterpriseFixture:
         finance_dialect: Dialect = QUIRK_AWARE,
         include_credit: bool = True,
         include_docs: bool = True,
+        wrap=None,
     ) -> FederationCatalog:
-        """A fresh federation catalog over the fixture's sources."""
+        """A fresh federation catalog over the fixture's sources.
+
+        `wrap` (e.g. `FaultInjector.wrap`) is applied to every source
+        before registration, so fault-tolerance tests and benchmarks can
+        script failures against the standard enterprise.
+        """
+        if wrap is None:
+            wrap = lambda source: source  # noqa: E731
         catalog = FederationCatalog()
-        catalog.register_source(RelationalSource("crm", self.crm, dialect=crm_dialect))
         catalog.register_source(
-            RelationalSource("sales", self.sales, dialect=sales_dialect)
+            wrap(RelationalSource("crm", self.crm, dialect=crm_dialect))
         )
         catalog.register_source(
-            RelationalSource("support", self.support, dialect=support_dialect)
+            wrap(RelationalSource("sales", self.sales, dialect=sales_dialect))
         )
         catalog.register_source(
-            RelationalSource("finance", self.finance, dialect=finance_dialect)
+            wrap(RelationalSource("support", self.support, dialect=support_dialect))
         )
-        catalog.register_source(self.marketing)
+        catalog.register_source(
+            wrap(RelationalSource("finance", self.finance, dialect=finance_dialect))
+        )
+        catalog.register_source(wrap(self.marketing))
         if include_credit:
-            catalog.register_source(self.credit)
+            catalog.register_source(wrap(self.credit))
         if include_docs:
-            catalog.register_source(self.docsource)
+            catalog.register_source(wrap(self.docsource))
         return catalog
 
 

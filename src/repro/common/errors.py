@@ -43,6 +43,44 @@ class CapabilityError(SourceError):
     """Raised when a component query exceeds a source's declared capabilities."""
 
 
+class InjectedFaultError(SourceError):
+    """Raised by the netsim fault injector standing in for a real outage.
+
+    A typed, retryable source failure: the resilience layer treats it like
+    any transient `SourceError`, and tests can distinguish scripted faults
+    from genuine bugs. Carries the faulted `source` name.
+    """
+
+    def __init__(self, message, source=None):
+        self.source = source
+        super().__init__(message)
+
+
+class SourceTimeoutError(SourceError):
+    """Raised when one fetch attempt exceeds the per-fetch timeout.
+
+    Simulated-time semantics: the mediator "waited" `timeout_s` simulated
+    seconds, gave up, and discarded whatever the source eventually returned.
+    """
+
+    def __init__(self, message, source=None, timeout_s=None):
+        self.source = source
+        self.timeout_s = timeout_s
+        super().__init__(message)
+
+
+class CircuitOpenError(SourceError):
+    """Raised when a source's circuit breaker rejects a call outright.
+
+    The breaker is protecting a source that has recently failed repeatedly;
+    callers should fail over to a replica or degrade rather than retry.
+    """
+
+    def __init__(self, message, source=None):
+        self.source = source
+        super().__init__(message)
+
+
 class TransactionError(EIIError):
     """Raised on invalid transaction usage in the storage substrate."""
 

@@ -22,8 +22,18 @@ from repro.federation.catalog import FederationCatalog, SourceTable
 from repro.federation.nodes import LogicalBindJoin, LogicalFetch
 from repro.federation.planner import FederatedPlan, FederatedPlanner, plan_to_select
 from repro.federation.engine import FederatedEngine, FederatedResult
+from repro.federation.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CompletenessReport,
+    ResilienceManager,
+    ResiliencePolicy,
+)
 
 __all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "CompletenessReport",
     "FederatedEngine",
     "FederatedPlan",
     "FederatedPlanner",
@@ -31,6 +41,8 @@ __all__ = [
     "FederationCatalog",
     "LogicalBindJoin",
     "LogicalFetch",
+    "ResilienceManager",
+    "ResiliencePolicy",
     "SourceTable",
     "plan_to_select",
 ]

@@ -38,6 +38,9 @@ class FederationCatalog:
     def __init__(self):
         self.sources: dict[str, DataSource] = {}
         self._tables: dict[str, SourceTable] = {}
+        #: global table name (lower) -> replica SourceTables, in registration
+        #: order — the order failover candidates are tried.
+        self._replicas: dict[str, list[SourceTable]] = {}
 
     def register_source(self, source: DataSource, rename: Optional[dict] = None) -> None:
         """Register every exported table of `source`.
@@ -59,6 +62,67 @@ class FederationCatalog:
                     f"source {other.source.name!r}"
                 )
             self._tables[key] = SourceTable(global_name, local_name, source)
+
+    def register_replica(self, source: DataSource, rename: Optional[dict] = None) -> None:
+        """Register `source` as a replica of already-registered tables.
+
+        Every exported table (after `rename`, local → global) must match an
+        existing global table; the replica becomes a failover candidate the
+        engine can re-bind a fetch to when the primary's circuit breaker is
+        open or the primary keeps failing. Replicas never answer queries by
+        default — the planner always binds to the primary.
+        """
+        if source.name in self.sources:
+            raise SchemaError(f"source {source.name!r} already registered")
+        rename = {k.lower(): v for k, v in (rename or {}).items()}
+        staged = []
+        for local_name in source.table_names():
+            global_name = rename.get(local_name.lower(), local_name)
+            key = global_name.lower()
+            primary = self._tables.get(key)
+            if primary is None:
+                raise SchemaError(
+                    f"replica table {global_name!r} from {source.name!r} has "
+                    f"no primary; have: {sorted(self._tables)}"
+                )
+            if len(source.schema_of(local_name)) != len(primary.schema):
+                raise SchemaError(
+                    f"replica table {global_name!r} from {source.name!r} does "
+                    f"not match the primary's schema width"
+                )
+            staged.append((key, SourceTable(primary.global_name, local_name, source)))
+        self.sources[source.name] = source
+        for key, table in staged:
+            self._replicas.setdefault(key, []).append(table)
+
+    def replicas_of(self, global_name: str) -> list:
+        """Replica `SourceTable`s registered for one global table."""
+        return list(self._replicas.get(global_name.lower(), ()))
+
+    def failover_candidates(self, primary_name: str, tables) -> list:
+        """Alternate sources able to answer a fetch reading `tables`.
+
+        Returns ``[(source, {global_lower: replica_local_name})]`` for every
+        non-primary source exporting a replica of *every* table the fetch
+        reads, in replica-registration order.
+        """
+        wanted = {str(table).lower() for table in tables}
+        if not wanted:
+            return []
+        coverage: dict[str, dict] = {}
+        order: list[str] = []
+        for table in sorted(wanted):
+            for replica in self._replicas.get(table, ()):
+                name = replica.source.name
+                if name not in coverage:
+                    coverage[name] = {}
+                    order.append(name)
+                coverage[name][table] = replica.local_name
+        return [
+            (self.sources[name], coverage[name])
+            for name in order
+            if name != primary_name and len(coverage[name]) == len(wanted)
+        ]
 
     def entry(self, global_name: str) -> SourceTable:
         entry = self._tables.get(global_name.lower())

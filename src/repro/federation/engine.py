@@ -4,24 +4,43 @@ The engine runs behind a three-level `repro.cache.CacheHierarchy`:
 whole-result lookups first, then plan reuse, then per-component fetch
 reuse during execution. Attach the hierarchy to an EAI broker (or call
 `FederatedEngine.attach_invalidation`) so writes evict dependent entries.
+
+Fault tolerance: pass a `ResiliencePolicy` to get bounded retries with
+exponential backoff (on the simulated clock), per-fetch timeouts, a
+per-source circuit breaker, and failover to catalog-registered replicas.
+With `partial_results=True`, a failed *non-essential* branch (a union arm
+or an outer-join enrichment) degrades to an annotated partial result —
+see `FederatedResult.completeness` — instead of failing the query.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.cache import CacheConfig, CacheHierarchy, canonical_statement, fetch_key
-from repro.common.errors import AdmissionError, PlanError
+from repro.common.errors import (
+    AdmissionError,
+    EIIError,
+    PlanError,
+    SourceError,
+    SourceTimeoutError,
+)
 from repro.common.relation import Relation
 from repro.engine.cost import CostModel
 from repro.engine.executor import LocalEngine
-from repro.engine.logical import LogicalPlan
+from repro.engine.logical import LogicalJoin, LogicalPlan, LogicalUnion
 from repro.federation.catalog import FederationCatalog
 from repro.federation.nodes import LogicalBindJoin, LogicalFetch, with_in_filter
 from repro.federation.planner import FederatedPlan, FederatedPlanner
+from repro.federation.resilience import (
+    CompletenessReport,
+    ResilienceManager,
+    ResiliencePolicy,
+    rename_statement_tables,
+)
 from repro.netsim.metrics import MetricsCollector
 from repro.netsim.network import NetworkModel
 from repro.sql.ast import Select, UnionSelect
@@ -58,6 +77,15 @@ class FederatedResult:
     fetch_seconds: list = field(default_factory=list)
     elapsed_seconds: float = 0.0  # simulated wall clock (parallelism-aware)
     from_cache: bool = False
+    #: which sources answered / were skipped / were served stale; present
+    #: whenever the engine ran with resilience or partial-results enabled
+    completeness: Optional[CompletenessReport] = None
+    #: breaker state per source at the end of execution (resilience only)
+    breaker_states: dict = field(default_factory=dict)
+
+    @property
+    def is_partial(self) -> bool:
+        return self.completeness is not None and not self.completeness.complete
 
     def explain(self) -> str:
         lines = [self.plan.pretty()]
@@ -67,6 +95,16 @@ class FederatedResult:
             + ", ".join(f"{key}={value}" for key, value in sorted(summary.items()))
         )
         lines.append(f"simulated elapsed: {self.elapsed_seconds:.4f}s")
+        if self.breaker_states:
+            lines.append(
+                "breakers: "
+                + ", ".join(
+                    f"{name}={state}"
+                    for name, state in sorted(self.breaker_states.items())
+                )
+            )
+        if self.completeness is not None:
+            lines.append(f"completeness: {self.completeness.describe()}")
         return "\n".join(lines)
 
 
@@ -75,7 +113,10 @@ class _FetchRuntime:
 
     `local` memoizes per-plan-node results within one execution (a node
     referenced twice runs once); the engine's cache hierarchy provides the
-    *cross-query* fetch store keyed by `(source, canonical SQL)`.
+    *cross-query* fetch store keyed by `(source, canonical SQL)`. Remote
+    calls funnel through `_remote_fetch`, which layers retries, breakers
+    and replica failover around the raw source call when the engine has a
+    resilience policy.
     """
 
     def __init__(self, engine: "FederatedEngine", metrics: MetricsCollector, site: str):
@@ -83,10 +124,127 @@ class _FetchRuntime:
         self.metrics = metrics
         self.site = site
         self.local: dict[int, Relation] = {}
+        self.report: Optional[CompletenessReport] = None
 
     @property
     def _store(self):
         return self.engine.cache.fetches if self.engine.cache is not None else None
+
+    # -- the guarded remote call -------------------------------------------------
+
+    def _attempt(self, source, stmt, collector, description):
+        """One attempt against one source: execute, ship, check the timeout.
+
+        Runs on a private collector so a failed or timed-out attempt can be
+        accounted without polluting `collector` with a half-recorded
+        transfer; on success the private collector is merged in whole.
+        Returns ``(relation, attempt_simulated_seconds)``.
+        """
+        local = MetricsCollector(network=collector.network)
+        try:
+            raw = source.execute_select(stmt, local)
+        except EIIError:
+            collector.merge(local)  # the failed round trip still took time
+            raise
+        local.record_transfer(
+            source.name,
+            self.site,
+            rows=len(raw),
+            payload_bytes=raw.size_bytes(),
+            wire_format=source.capabilities.wire_format,
+            description=description,
+        )
+        manager = self.engine.resilience
+        timeout = manager.policy.fetch_timeout_s if manager is not None else None
+        if timeout is not None and local.simulated_seconds > timeout:
+            # we "waited" until the deadline, then abandoned the attempt
+            collector.charge_seconds(timeout)
+            raise SourceTimeoutError(
+                f"fetch from {source.name!r} exceeded the {timeout:.3f}s "
+                f"timeout (attempt took {local.simulated_seconds:.3f}s simulated)",
+                source=source.name,
+                timeout_s=timeout,
+            )
+        collector.merge(local)
+        return raw, local.simulated_seconds
+
+    def _candidates(self, node, stmt):
+        """The primary, then every replica source able to answer `stmt`."""
+        yield node.source, stmt
+        manager = self.engine.resilience
+        if manager is None or not manager.policy.failover or not node.tables:
+            return
+        catalog = self.engine.catalog
+        for source, mapping in catalog.failover_candidates(
+            node.source.name, node.tables
+        ):
+            rename = {}
+            for global_name in node.tables:
+                primary_local = catalog.entry(global_name).local_name.lower()
+                rename[primary_local] = mapping[global_name]
+            yield source, rename_statement_tables(stmt, rename)
+
+    def _remote_fetch(self, node, stmt, collector, description):
+        """Execute `stmt` with retries/breaker/failover per the policy.
+
+        Returns ``(relation, cost_seconds, source_used, stmt_used)``; raises
+        the last candidate's error when every access path is exhausted.
+        """
+        manager = self.engine.resilience
+        if manager is None:
+            raw, cost = self._attempt(node.source, stmt, collector, description)
+            return raw, cost, node.source, stmt
+        last_error: Optional[Exception] = None
+        for index, (source, candidate_stmt) in enumerate(self._candidates(node, stmt)):
+            try:
+                raw, cost = manager.run_guarded(
+                    source.name,
+                    lambda s=source, q=candidate_stmt: self._attempt(
+                        s, q, collector, description
+                    ),
+                    collector,
+                )
+            except SourceError as exc:
+                last_error = exc
+                continue
+            if index > 0:
+                collector.failovers += 1
+            return raw, cost, source, candidate_stmt
+        assert last_error is not None
+        raise last_error
+
+    def _degrade(self, node, error, collector, kind) -> bool:
+        """Record a skipped non-essential branch; True when degradation applies."""
+        if not self.engine.partial_results or not getattr(node, "degradable", False):
+            return False
+        collector.degraded_fetches += 1
+        if self.report is not None:
+            self.report.note_skipped(
+                node.source.name, node.tables, error, node.est_rows, kind
+            )
+        return True
+
+    def _note_stale_if_down(self, node, collector) -> None:
+        """Annotate a cache hit whose every access path is currently down.
+
+        A fetch served from cache never touches a breaker — but when the
+        primary's breaker is open and no replica could answer either, the
+        caller must know this answer *cannot currently be re-validated*.
+        """
+        manager = self.engine.resilience
+        if manager is None or not manager.source_down(node.source.name):
+            return
+        if manager.policy.failover:
+            for source, _ in self.engine.catalog.failover_candidates(
+                node.source.name, node.tables
+            ):
+                if not manager.source_down(source.name):
+                    return
+        collector.stale_cache_hits += 1
+        if self.report is not None:
+            self.report.note_stale(node.tables or node.depends_on)
+
+    # -- fetch / bind-fetch ------------------------------------------------------
 
     def fetch(self, node: LogicalFetch, metrics: Optional[MetricsCollector] = None) -> Relation:
         cached = self.local.get(id(node))
@@ -100,27 +258,31 @@ class _FetchRuntime:
                 collector.fetch_cache_hits += 1
                 collector.cache_seconds_saved += entry.cost_seconds
                 collector.cache_bytes_saved += entry.size_bytes
+                self._note_stale_if_down(node, collector)
+                if self.report is not None:
+                    self.report.note_answered(node.source.name, node.est_rows)
                 result = Relation(node.schema, entry.value.rows)
                 self.local[id(node)] = result
                 return result
             collector.fetch_cache_misses += 1
-        before = collector.simulated_seconds
-        raw = node.source.execute_select(node.stmt, collector)
-        collector.record_transfer(
-            node.source.name,
-            self.site,
-            rows=len(raw),
-            payload_bytes=raw.size_bytes(),
-            wire_format=node.source.capabilities.wire_format,
-            description=f"fetch from {node.source.name}",
-        )
-        if key is not None:
-            self.engine.cache.put_fetch(
-                key,
-                raw,
-                tags=node.depends_on,
-                cost_seconds=collector.simulated_seconds - before,
+        try:
+            raw, cost_seconds, source_used, _ = self._remote_fetch(
+                node, node.stmt, collector, f"fetch from {node.source.name}"
             )
+        except EIIError as exc:
+            if self._degrade(node, exc, collector, "fetch"):
+                result = Relation(node.schema, [])
+                self.local[id(node)] = result
+                return result
+            raise
+        # Only a primary-served fetch is cached: the entry's key and tags
+        # describe the primary, and a replica answer must not mask it.
+        if key is not None and source_used is node.source:
+            self.engine.cache.put_fetch(
+                key, raw, tags=node.depends_on, cost_seconds=cost_seconds
+            )
+        if self.report is not None:
+            self.report.note_answered(source_used.name, node.est_rows)
         # Relabel positionally: the residual plan resolves against the
         # schema of the subtree the fetch replaced.
         result = Relation(node.schema, raw.rows)
@@ -141,27 +303,26 @@ class _FetchRuntime:
                     self.metrics.fetch_cache_hits += 1
                     self.metrics.cache_seconds_saved += entry.cost_seconds
                     self.metrics.cache_bytes_saved += entry.size_bytes
+                    self._note_stale_if_down(node, self.metrics)
                     rows.extend(entry.value.rows)
                     continue
                 self.metrics.fetch_cache_misses += 1
-            before = self.metrics.simulated_seconds
-            raw = node.source.execute_select(stmt, self.metrics)
-            self.metrics.record_transfer(
-                node.source.name,
-                self.site,
-                rows=len(raw),
-                payload_bytes=raw.size_bytes(),
-                wire_format=node.source.capabilities.wire_format,
-                description=f"bind fetch from {node.source.name} ({len(chunk)} keys)",
-            )
-            if key is not None:
+            description = f"bind fetch from {node.source.name} ({len(chunk)} keys)"
+            try:
+                raw, cost_seconds, source_used, _ = self._remote_fetch(
+                    node, stmt, self.metrics, description
+                )
+            except EIIError as exc:
+                if self._degrade(node, exc, self.metrics, "bind_chunk"):
+                    continue  # this chunk's enrichments are lost, not the query
+                raise
+            if key is not None and source_used is node.source:
                 self.engine.cache.put_fetch(
-                    key,
-                    raw,
-                    tags=node.depends_on,
-                    cost_seconds=self.metrics.simulated_seconds - before,
+                    key, raw, tags=node.depends_on, cost_seconds=cost_seconds
                 )
             rows.extend(raw.rows)
+        if self.report is not None:
+            self.report.note_answered(node.source.name, node.est_rows)
         return Relation(node.fetch_schema, rows)
 
 
@@ -180,6 +341,8 @@ class FederatedEngine:
         cache_ttl_s: Optional[float] = None,
         cache: Optional[CacheHierarchy] = None,
         clock=time.time,
+        resilience: Union[ResiliencePolicy, ResilienceManager, None] = None,
+        partial_results: bool = False,
     ):
         self.catalog = catalog
         self.network = network or NetworkModel()
@@ -209,6 +372,15 @@ class FederatedEngine:
                 clock=clock,
             )
         self.cache = cache
+        #: per-source retry/breaker/failover behavior; None = fail fast,
+        #: exactly the pre-resilience all-or-nothing engine
+        if resilience is None or isinstance(resilience, ResilienceManager):
+            self.resilience = resilience
+        else:
+            self.resilience = ResilienceManager(resilience, clock=clock)
+        #: opt-in: degrade failed non-essential branches to annotated
+        #: partial results instead of failing the whole query
+        self.partial_results = partial_results
         self._scratch = Database("assembly")
         self._local = LocalEngine(self._scratch, optimize=False)
 
@@ -233,6 +405,7 @@ class FederatedEngine:
                     hit.fetch_seconds,
                     elapsed_seconds=0.0,
                     from_cache=True,
+                    completeness=hit.completeness,
                 )
         plan = self.cache.get_plan(canonical)
         plan_was_cached = plan is not None
@@ -250,7 +423,8 @@ class FederatedEngine:
         result = self.execute_plan(plan)
         if plan_was_cached:
             result.metrics.plan_cache_hits += 1
-        if result_key is not None:
+        # Partial answers must never be served later as if they were whole.
+        if result_key is not None and not result.is_partial:
             self.cache.put_result(
                 result_key,
                 result,
@@ -300,6 +474,10 @@ class FederatedEngine:
     def execute_plan(self, plan: FederatedPlan) -> FederatedResult:
         metrics = MetricsCollector(network=self.network)
         runtime = _FetchRuntime(self, metrics, plan.assembly_site)
+        if self.resilience is not None or self.partial_results:
+            runtime.report = CompletenessReport()
+        if self.partial_results:
+            _mark_degradable(plan.root, False)
         for node in plan.root.walk():
             if isinstance(node, (LogicalFetch, LogicalBindJoin)):
                 node.runtime = runtime
@@ -324,31 +502,97 @@ class FederatedEngine:
             description="final result to client",
         )
         elapsed = fetch_elapsed + serial_tail + assembly_seconds + final_transfer
-        return FederatedResult(relation, plan, metrics, fetch_seconds, elapsed)
+        result = FederatedResult(relation, plan, metrics, fetch_seconds, elapsed)
+        result.completeness = runtime.report
+        if self.resilience is not None:
+            result.breaker_states = self.resilience.breaker_states()
+        return result
 
     # -- internals ----------------------------------------------------------------
 
     def _prefetch(self, fetches: list, runtime: _FetchRuntime, metrics) -> list:
-        """Run component queries concurrently; returns per-fetch sim seconds."""
+        """Run component queries concurrently; returns per-fetch sim seconds.
+
+        Failure discipline: when any fetch fails, not-yet-started tasks are
+        cancelled, in-flight tasks are joined, every completed task's
+        metrics are merged, and the *first failure in submission order* is
+        raised — so a multi-fetch failure is deterministic and no work is
+        left running behind the caller's back.
+        """
         durations: list[float] = []
         if not fetches:
             return durations
 
-        def run_one(node: LogicalFetch) -> MetricsCollector:
+        def run_one(node: LogicalFetch):
             local = MetricsCollector(network=self.network)
-            runtime.fetch(node, metrics=local)
-            return local
+            try:
+                runtime.fetch(node, metrics=local)
+            except Exception as exc:  # noqa: BLE001 - re-raised in order below
+                return local, exc
+            return local, None
 
+        outcomes: list = []
         if self.parallel_workers == 1 or len(fetches) == 1:
-            collectors = [run_one(node) for node in fetches]
+            for node in fetches:
+                outcome = run_one(node)
+                outcomes.append(outcome)
+                if outcome[1] is not None:
+                    break  # serial mode: fail fast, later fetches never start
         else:
             with ThreadPoolExecutor(max_workers=self.parallel_workers) as pool:
-                collectors = list(pool.map(run_one, fetches))
-        for collector in collectors:
-            durations.append(collector.simulated_seconds)
-            metrics.merge(collector)
+                futures = [pool.submit(run_one, node) for node in fetches]
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    if any(future.result()[1] is not None for future in done):
+                        for future in pending:
+                            future.cancel()
+                        break
+                # leaving the context manager joins every in-flight task
+            outcomes = [
+                future.result() for future in futures if not future.cancelled()
+            ]
+
+        first_error: Optional[Exception] = None
+        for local, error in outcomes:
+            metrics.merge(local)
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+            else:
+                durations.append(local.simulated_seconds)
+        if first_error is not None:
+            raise first_error
         return durations
 
     def _assembly_cost(self, plan: FederatedPlan) -> float:
         estimate = self.planner.cost_model.estimate(plan.root)
         return estimate.cost * HUB_TIME_PER_COST_UNIT_S
+
+
+def _mark_degradable(node: LogicalPlan, degradable: bool) -> None:
+    """Mark which remote branches may degrade under `partial_results`.
+
+    A branch is non-essential when dropping it cannot fabricate wrong rows,
+    only miss some: an arm of a UNION ALL, or anything on the nullable side
+    of a LEFT join (including the probed side of a LEFT bind join). Inner
+    joins, aggregates' only input, and the driver side stay essential —
+    failing them fails the query.
+    """
+    if isinstance(node, LogicalFetch):
+        node.degradable = degradable
+        return
+    if isinstance(node, LogicalBindJoin):
+        node.degradable = degradable or node.kind == "LEFT"
+        _mark_degradable(node.left, degradable)
+        return
+    if isinstance(node, LogicalUnion):
+        for child in node.children:
+            _mark_degradable(child, True)
+        return
+    if isinstance(node, LogicalJoin):
+        _mark_degradable(node.left, degradable)
+        _mark_degradable(node.right, degradable or node.kind == "LEFT")
+        return
+    for child in node.children:
+        _mark_degradable(child, degradable)

@@ -38,6 +38,7 @@ class LogicalFetch(LogicalPlan):
         est_rows: float = 1000.0,
         est: Optional[PlanCost] = None,
         depends_on: frozenset = frozenset(),
+        tables: frozenset = frozenset(),
     ):
         self.stmt = stmt
         self.source = source
@@ -49,7 +50,14 @@ class LogicalFetch(LogicalPlan):
         #: lower-cased global+local names of the tables this fetch reads;
         #: cache entries built from it are tagged with these for invalidation
         self.depends_on = depends_on
+        #: lower-cased *global* names only — what replica failover needs to
+        #: find alternate sources and rewrite the statement against them
+        self.tables = tables
         self.runtime = None  # injected by FederatedEngine before lowering
+        #: set by the engine in partial-results mode: True when this fetch
+        #: feeds a union arm or the nullable side of an outer join, so a
+        #: final failure may degrade to an annotated empty result
+        self.degradable = False
 
     def label(self):
         return f"Fetch[{self.source.name}]({to_sql(self.stmt)})"
@@ -108,6 +116,7 @@ class LogicalBindJoin(LogicalPlan):
         max_inlist: int = DEFAULT_MAX_INLIST,
         est_rows: float = 1000.0,
         depends_on: frozenset = frozenset(),
+        tables: frozenset = frozenset(),
     ):
         if kind not in ("INNER", "LEFT"):
             raise PlanError(f"bind join does not support kind {kind!r}")
@@ -123,8 +132,13 @@ class LogicalBindJoin(LogicalPlan):
         self.est_rows = est_rows
         #: table names (lower-cased) the probed side reads, for invalidation
         self.depends_on = depends_on
+        #: lower-cased global names of the probed tables (replica failover)
+        self.tables = tables
         self.schema = left.schema.concat(fetch_schema)
         self.runtime = None
+        #: see LogicalFetch.degradable; a LEFT bind join's probe is always
+        #: degradable (a lost enrichment null-pads instead of failing)
+        self.degradable = False
 
     @property
     def children(self):
@@ -144,8 +158,10 @@ class LogicalBindJoin(LogicalPlan):
             self.max_inlist,
             self.est_rows,
             self.depends_on,
+            self.tables,
         )
         node.runtime = self.runtime
+        node.degradable = self.degradable
         return node
 
     def label(self):

@@ -295,6 +295,7 @@ class FederatedPlanner:
             est.rows,
             est,
             depends_on=self._dependencies_of(subtree),
+            tables=self._global_tables_of(subtree),
         )
 
     def _dependencies_of(self, subtree: LogicalPlan) -> frozenset:
@@ -311,6 +312,19 @@ class FederatedPlanner:
                 tags.add(node.table_name.lower())
                 tags.add(self.catalog.entry(node.table_name).local_name.lower())
         return frozenset(tags)
+
+    def _global_tables_of(self, subtree: LogicalPlan) -> frozenset:
+        """Lower-cased *global* names of the tables a pushable subtree reads.
+
+        Replica failover keys on these: the catalog finds alternate sources
+        covering every global table, and the component query is rewritten
+        from the primary's local names to the replica's.
+        """
+        return frozenset(
+            node.table_name.lower()
+            for node in subtree.walk()
+            if isinstance(node, LogicalScan)
+        )
 
     # -- bind joins --------------------------------------------------------------------
 
@@ -406,6 +420,7 @@ class FederatedPlanner:
             fetch_schema = right.schema
             est = right.est_rows
             depends_on = right.depends_on
+            tables = right.tables
         else:
             info = self._analyze(right)
             source = self.catalog.sources[info.single_source]
@@ -413,6 +428,7 @@ class FederatedPlanner:
             fetch_schema = right.schema
             est = self.cost_model.estimate(right).rows
             depends_on = self._dependencies_of(right)
+            tables = self._global_tables_of(right)
         # For binding-pattern tables the probe must target the bound column.
         bound = source.capabilities.required_binding(
             template.from_tables[0].name if template.from_tables else ""
@@ -435,6 +451,7 @@ class FederatedPlanner:
             max_inlist=self.max_inlist,
             est_rows=est,
             depends_on=depends_on,
+            tables=tables,
         )
 
     # -- validation -----------------------------------------------------------------

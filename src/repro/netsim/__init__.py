@@ -7,15 +7,42 @@ performed: every component-query result shipped between sites is charged
 `latency + bytes / bandwidth` simulated seconds and recorded in a
 `MetricsCollector`. The serialization format matters — the panel's XML
 systems paid roughly a 3x size blowup, which `WireFormat.XML` models.
+
+Source unreliability is simulated the same way: `FaultInjector` scripts
+per-source failure modes (transient errors, latency spikes, slow trickle,
+hard outages) over a seeded RNG and the simulated `SimClock`, so the
+resilience layer's behavior under any outage scenario is reproducible.
 """
 
 from repro.netsim.network import Link, NetworkModel, WireFormat
 from repro.netsim.metrics import MetricsCollector, TransferRecord
+from repro.netsim.clock import SimClock
+from repro.netsim.faults import (
+    ErrorRate,
+    FaultInjector,
+    FaultRecord,
+    FaultRule,
+    FaultySource,
+    LatencySpike,
+    Outage,
+    Transient,
+    Trickle,
+)
 
 __all__ = [
+    "ErrorRate",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultRule",
+    "FaultySource",
+    "LatencySpike",
     "Link",
     "MetricsCollector",
     "NetworkModel",
+    "Outage",
+    "SimClock",
     "TransferRecord",
+    "Transient",
+    "Trickle",
     "WireFormat",
 ]

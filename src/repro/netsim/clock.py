@@ -1,0 +1,38 @@
+"""A simulated clock for deterministic time-dependent behavior.
+
+Everything in the resilience stack that "waits" — retry backoff, circuit
+breaker cooldowns, fault-schedule outage windows — reads this clock
+instead of the wall clock, so every failure scenario replays identically
+in tests and benchmarks. The clock only moves when something advances it:
+a backoff "sleep", a scripted schedule, or test code.
+
+A `SimClock` is callable (returning the current simulated time), so it
+drops into every `clock=` slot that otherwise takes `time.time` — the
+cache hierarchy, the federated engine and the circuit breakers can all
+share one simulated timeline.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A manually-advanced clock; `now()`/`__call__` never move on their own."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r}s")
+        self._now += seconds
+        return self._now
+
+    def __repr__(self):
+        return f"SimClock(t={self._now:.6f})"

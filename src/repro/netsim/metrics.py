@@ -46,6 +46,14 @@ class MetricsCollector:
     result_cache_hits: int = 0
     cache_seconds_saved: float = 0.0
     cache_bytes_saved: int = 0
+    # resilience telemetry (populated by the federation resilience layer)
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    source_failures: int = 0
+    breaker_short_circuits: int = 0
+    failovers: int = 0
+    degraded_fetches: int = 0
+    stale_cache_hits: int = 0
 
     def record_transfer(
         self,
@@ -113,6 +121,13 @@ class MetricsCollector:
         self.result_cache_hits = 0
         self.cache_seconds_saved = 0.0
         self.cache_bytes_saved = 0
+        self.retries = 0
+        self.backoff_seconds = 0.0
+        self.source_failures = 0
+        self.breaker_short_circuits = 0
+        self.failovers = 0
+        self.degraded_fetches = 0
+        self.stale_cache_hits = 0
 
     def summary(self) -> dict:
         """Flat dict used by EXPLAIN output and the benchmark harness.
@@ -138,4 +153,15 @@ class MetricsCollector:
         }
         if any(cache.values()):
             out.update(cache)
+        resilience = {
+            "retries": self.retries,
+            "backoff_seconds": round(self.backoff_seconds, 6),
+            "source_failures": self.source_failures,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "failovers": self.failovers,
+            "degraded_fetches": self.degraded_fetches,
+            "stale_cache_hits": self.stale_cache_hits,
+        }
+        if any(resilience.values()):
+            out.update(resilience)
         return out

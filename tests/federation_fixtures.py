@@ -7,8 +7,23 @@ from repro.storage import Database
 from repro.wrappers import QUIRK_AWARE
 
 
-def build_catalog(crm_dialect=QUIRK_AWARE, sales_dialect=QUIRK_AWARE):
-    """Four sources: two DBMSs, one spreadsheet, one keyed web service."""
+def build_catalog(
+    crm_dialect=QUIRK_AWARE,
+    sales_dialect=QUIRK_AWARE,
+    injector=None,
+    with_replicas=False,
+):
+    """Four sources: two DBMSs, one spreadsheet, one keyed web service.
+
+    `injector` (a `repro.netsim.FaultInjector`) wraps every source so tests
+    can script failures; `with_replicas=True` additionally registers
+    `crm_standby` (a replica of `customers`, under the renamed local table
+    `customers_v2`) and `sales_standby` (a replica of `orders`) as failover
+    targets. Replicas are wrapped by the same injector, so outages can hit
+    them too.
+    """
+    wrap = injector.wrap if injector is not None else (lambda source: source)
+
     crm = Database("crm")
     crm.create_table(
         "customers",
@@ -45,10 +60,49 @@ def build_catalog(crm_dialect=QUIRK_AWARE, sales_dialect=QUIRK_AWARE):
     )
 
     catalog = FederationCatalog()
-    catalog.register_source(RelationalSource("crm", crm, dialect=crm_dialect))
-    catalog.register_source(RelationalSource("sales", sales, dialect=sales_dialect))
-    catalog.register_source(files)
-    catalog.register_source(credit)
+    catalog.register_source(wrap(RelationalSource("crm", crm, dialect=crm_dialect)))
+    catalog.register_source(
+        wrap(RelationalSource("sales", sales, dialect=sales_dialect))
+    )
+    catalog.register_source(wrap(files))
+    catalog.register_source(wrap(credit))
+
+    if with_replicas:
+        # The standby keeps identical rows under a *renamed* local table, so
+        # failover exercises statement rebinding, not just re-routing.
+        crm_standby = Database("crm_standby")
+        crm_standby.create_table(
+            "customers_v2",
+            [("id", T.INT), ("name", T.STRING), ("city", T.STRING)],
+            primary_key=["id"],
+        )
+        for row in crm.table("customers").rows():
+            crm_standby.table("customers_v2").insert(tuple(row))
+        catalog.register_replica(
+            wrap(RelationalSource("crm_standby", crm_standby, dialect=crm_dialect)),
+            rename={"customers_v2": "customers"},
+        )
+
+        sales_standby = Database("sales_standby")
+        sales_standby.create_table(
+            "orders",
+            [
+                ("id", T.INT),
+                ("cust_id", T.INT),
+                ("total", T.FLOAT),
+                ("status", T.STRING),
+            ],
+            primary_key=["id"],
+        )
+        for row in sales.table("orders").rows():
+            sales_standby.table("orders").insert(tuple(row))
+        catalog.register_replica(
+            wrap(
+                RelationalSource(
+                    "sales_standby", sales_standby, dialect=sales_dialect
+                )
+            )
+        )
     return catalog
 
 

@@ -213,3 +213,126 @@ def test_union_of_query_with_itself(sql):
     single = engine.query(sql).relation
     doubled = engine.query(f"{sql} UNION ALL {sql}").relation
     assert len(doubled) == 2 * len(single)
+
+
+# -- chaos fuzzing: fault schedules on top of random queries ------------------
+#
+# The fault-tolerance contract, fuzzed: for ANY query and ANY scripted fault
+# sequence, a resilient engine must produce (a) the exact oracle answer,
+# (b) a partial answer *flagged* as partial with its skipped branches
+# recorded, or (c) a typed EIIError — never an unflagged wrong answer.
+
+from repro.common.errors import EIIError  # noqa: E402
+from repro.federation import ResiliencePolicy  # noqa: E402
+from repro.netsim import (  # noqa: E402
+    ErrorRate,
+    FaultInjector,
+    LatencySpike,
+    Outage,
+    SimClock,
+    Transient,
+)
+
+CHAOS_SOURCES = ["crm", "sales", "support", "finance", "marketing"]
+
+
+@st.composite
+def fault_schedule(draw):
+    """Per-source fault rules; 'none' is common so healthy paths stay hot."""
+    schedule = {}
+    for name in CHAOS_SOURCES:
+        kind = draw(
+            st.sampled_from(
+                ["none", "none", "transient", "error_rate", "outage", "latency"]
+            )
+        )
+        if kind == "transient":
+            schedule[name] = [Transient(draw(st.integers(1, 2)))]
+        elif kind == "error_rate":
+            schedule[name] = [ErrorRate(draw(st.sampled_from([0.1, 0.3, 0.6])))]
+        elif kind == "outage":
+            schedule[name] = [Outage()]
+        elif kind == "latency":
+            schedule[name] = [LatencySpike(draw(st.sampled_from([0.05, 1.0])))]
+    return schedule
+
+
+@given(
+    sql=random_query(),
+    schedule=fault_schedule(),
+    seed=st.integers(min_value=0, max_value=7),
+    partial=st.booleans(),
+)
+@settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_chaos_never_silently_wrong(sql, schedule, seed, partial):
+    clock = SimClock()
+    injector = FaultInjector(seed=seed, clock=clock)
+    catalog = FIXTURE.catalog(
+        include_credit=False, include_docs=False, wrap=injector.wrap
+    )
+    for name, rules in schedule.items():
+        injector.script(name, *rules)
+    engine = FederatedEngine(
+        catalog,
+        clock=clock,
+        parallel_workers=1,  # strict per-source call ordering for replay
+        resilience=ResiliencePolicy(
+            max_attempts=3,
+            breaker_failure_threshold=3,
+            breaker_cooldown_s=5.0,
+            seed=seed,
+        ),
+        partial_results=partial,
+    )
+    oracle = BASELINE.query(sql).sorted()
+    try:
+        result = engine.query(sql)
+    except EIIError:
+        return  # outcome (c): a typed, attributable failure
+    if result.is_partial:
+        # outcome (b): the degradation is announced, with blame attached
+        assert result.completeness.skipped
+        assert result.completeness.skipped_sources()
+        assert 0.0 < result.completeness.missing_fraction() <= 1.0
+        return
+    # outcome (a): any answer NOT flagged partial must be exactly right
+    assert result.relation.sorted().rows == oracle.rows, sql
+
+
+@given(sql=random_query(), seed=st.integers(min_value=0, max_value=7))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_chaos_with_replay_is_deterministic(sql, seed):
+    """The same (query, schedule, seed) replays to the same outcome."""
+
+    def run():
+        clock = SimClock()
+        injector = FaultInjector(seed=seed, clock=clock)
+        catalog = FIXTURE.catalog(
+            include_credit=False, include_docs=False, wrap=injector.wrap
+        )
+        injector.script("crm", ErrorRate(0.5))
+        injector.script("sales", Transient(1))
+        engine = FederatedEngine(
+            catalog,
+            clock=clock,
+            parallel_workers=1,
+            resilience=ResiliencePolicy(max_attempts=2, seed=seed),
+            partial_results=True,
+        )
+        try:
+            result = engine.query(sql)
+        except EIIError as exc:
+            return ("error", type(exc).__name__, str(exc))
+        return (
+            "ok",
+            result.is_partial,
+            sorted(result.relation.rows),
+            result.metrics.retries,
+        )
+
+    assert run() == run()
