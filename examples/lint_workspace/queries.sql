@@ -1,0 +1,23 @@
+-- Example query workspace linted by `python -m repro.analysis examples/lint_workspace`
+-- (and by the shell's \lint). All statements here are clean: the analyzer
+-- emits at most informational notes (e.g. scan-only shipping) for them.
+
+-- customers per region: the regions spreadsheet is scan-only, so expect
+-- an EII204 note that the whole (small) table ships
+SELECT c.name, r.region
+FROM customers c, regions r
+WHERE c.city = r.city AND c.segment = 'enterprise';
+
+-- revenue rollup pushed to the sales source
+SELECT o.status, COUNT(*) AS orders, SUM(o.total) AS revenue
+FROM orders o
+GROUP BY o.status;
+
+-- the credit bureau demands a binding on cust_id; the equi-join to the
+-- unrestricted CRM table supplies it, so this is statically feasible
+SELECT c.name, cr.score, cr.rating
+FROM customers c, credit cr
+WHERE c.id = cr.cust_id AND c.city = 'Springfield';
+
+-- queries may also target GAV views defined in this workspace
+SELECT v.name, v.region FROM customer_region v WHERE v.region = 'West';

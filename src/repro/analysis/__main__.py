@@ -1,0 +1,78 @@
+"""CLI entry point: `python -m repro.analysis [paths...]`.
+
+Lints query/mapping workspaces (directories or individual `.sql`/`.gav`/
+`.lav` files) against the enterprise demo catalog, or — with no paths —
+reads one SQL statement from stdin. Exit status: 0 clean, 1 when any
+error-severity diagnostic (or, with `--strict`, any warning) is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.analyzer import QueryAnalyzer
+from repro.analysis.diagnostics import AnalysisReport, Severity
+from repro.analysis.workspace import lint_workspace
+
+
+def _build_catalog(scale: int):
+    # The bench fixture is the demo schema every example targets; imported
+    # here (not in workspace.py) so library users never pull in repro.bench.
+    from repro.bench.datagen import BenchConfig, build_enterprise
+
+    return build_enterprise(BenchConfig(scale=scale)).catalog()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for federated SQL, GAV/LAV mappings "
+        "and query workspaces.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="workspace directories or .sql/.gav/.lav files; omit to read "
+        "one SQL statement from stdin",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=1,
+        help="scale factor for the demo enterprise catalog (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    catalog = _build_catalog(args.scale)
+    combined = AnalysisReport()
+    if args.paths:
+        for path in args.paths:
+            report = lint_workspace(path, catalog)
+            combined.extend(report.diagnostics)
+    else:
+        text = sys.stdin.read()
+        if not text.strip():
+            parser.error("no paths given and stdin is empty")
+        combined = QueryAnalyzer(catalog=catalog).analyze(text)
+
+    for diagnostic in combined:
+        print(diagnostic.render())
+    print(combined.headline())
+
+    if combined.errors:
+        return 1
+    if args.strict and any(
+        d.severity >= Severity.WARNING for d in combined
+    ):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

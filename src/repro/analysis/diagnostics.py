@@ -1,0 +1,230 @@
+"""Typed diagnostics: the currency of the static-analysis subsystem.
+
+Every pass produces `Diagnostic`s — a stable code (`EII1xx` semantic,
+`EII2xx` capability/binding, `EII3xx` mapping lint, `EII4xx` plan
+invariants), a severity, a best-effort source span and a fix hint —
+aggregated into an `AnalysisReport`. Engines running with `validate=True`
+raise `AnalysisError` on any error-severity finding *before* a single byte
+is shipped; the attached `MetricsCollector` is the zero-byte proof.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional
+
+from repro.common.errors import EIIError, ParseError
+
+
+class Severity(enum.IntEnum):
+    """Ordering matters: a report is fatal iff it holds any ERROR."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+
+#: Registry of every stable diagnostic code. Passes assert membership so a
+#: typo'd code fails loudly in tests rather than shipping a new code family.
+CODES = {
+    # EII1xx — SQL semantic analysis
+    "EII100": "syntax error",
+    "EII101": "unknown table",
+    "EII102": "unknown column",
+    "EII103": "ambiguous column reference",
+    "EII104": "expression type mismatch",
+    "EII105": "aggregate in WHERE",
+    "EII106": "non-grouped column under GROUP BY",
+    "EII107": "unknown function",
+    "EII108": "duplicate table binding",
+    "EII109": "UNION branch width mismatch",
+    "EII110": "nested aggregate",
+    "EII111": "HAVING without GROUP BY or aggregates",
+    "EII112": "INSERT arity mismatch",
+    # EII2xx — capability / binding-pattern feasibility
+    "EII201": "binding pattern unsatisfied",
+    "EII202": "source refuses external queries",
+    "EII203": "predicate not pushable",
+    "EII204": "scan-only source ships whole table",
+    # EII3xx — GAV/LAV mapping lint
+    "EII301": "view over unknown table",
+    "EII302": "computed view column blocks updates",
+    "EII303": "dead LAV view",
+    "EII304": "redundant LAV views",
+    "EII305": "cyclic view definition",
+    "EII306": "unsafe LAV rule",
+    "EII307": "conceptual attribute never exposed",
+    # EII4xx — plan invariant verification
+    "EII401": "fetch exceeds source capabilities",
+    "EII402": "cartesian product",
+    "EII403": "plan bookkeeping mismatch",
+    "EII404": "incomplete dependency tags",
+    "EII405": "degradable annotation on essential branch",
+}
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A location in query/mapping text; offsets 0-based, line/column 1-based."""
+
+    offset: int
+    length: int
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: stable code, severity, message, span and fix hint."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Optional[SourceSpan] = None
+    hint: Optional[str] = None
+    #: where the finding came from: a file path (workspace lint), a view
+    #: name, or "" for ad-hoc query analysis
+    origin: str = ""
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    def render(self) -> str:
+        where = f" @ {self.span.describe()}" if self.span is not None else ""
+        prefix = f"{self.origin}: " if self.origin else ""
+        text = f"{prefix}{self.code} {self.severity.name.lower()}{where}: {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def with_origin(self, origin: str) -> "Diagnostic":
+        return replace(self, origin=origin)
+
+
+def error(code: str, message: str, **kwargs) -> Diagnostic:
+    return Diagnostic(code, Severity.ERROR, message, **kwargs)
+
+
+def warning(code: str, message: str, **kwargs) -> Diagnostic:
+    return Diagnostic(code, Severity.WARNING, message, **kwargs)
+
+
+def info(code: str, message: str, **kwargs) -> Diagnostic:
+    return Diagnostic(code, Severity.INFO, message, **kwargs)
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of diagnostics with severity rollups."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing error-severity was found (warnings allowed)."""
+        return not self.errors
+
+    def codes(self) -> set:
+        return {d.code for d in self.diagnostics}
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def headline(self) -> str:
+        if not self.diagnostics:
+            return "static analysis: no diagnostics"
+        parts = []
+        for label, found in (
+            ("error", self.errors),
+            ("warning", self.warnings),
+        ):
+            if found:
+                plural = "s" if len(found) != 1 else ""
+                parts.append(f"{len(found)} {label}{plural}")
+        if not parts:
+            parts.append(f"{len(self.diagnostics)} note(s)")
+        listed = ", ".join(sorted({d.code for d in self.errors or self.diagnostics}))
+        return f"static analysis found {' and '.join(parts)} ({listed})"
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics"
+        return "\n".join(d.render() for d in self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+
+class AnalysisError(EIIError):
+    """Raised when `validate=True` analysis rejects a query before execution.
+
+    `report` holds the full diagnostics; `metrics` — when provided by an
+    engine — is the (zero-byte) `MetricsCollector` proving the rejection
+    happened before any source was contacted.
+    """
+
+    def __init__(self, report: AnalysisReport, metrics=None):
+        self.report = report
+        self.metrics = metrics
+        super().__init__(report.headline() + "\n" + report.render())
+
+
+# ---------------------------------------------------------------------------
+# Span helpers
+# ---------------------------------------------------------------------------
+
+
+def span_at(text: str, offset: int, length: int = 1) -> SourceSpan:
+    """Build a span from a raw offset into `text`."""
+    prefix = text[:offset]
+    line = prefix.count("\n") + 1
+    column = offset - (prefix.rfind("\n") + 1) + 1
+    return SourceSpan(offset, length, line, column)
+
+
+def span_of(text: Optional[str], name: str, occurrence: int = 1) -> Optional[SourceSpan]:
+    """Best-effort span of identifier/keyword `name` in `text`, via the lexer.
+
+    Returns None when no text is available (AST-only analysis) or the name
+    does not appear as a token — diagnostics then simply carry no span.
+    """
+    if not text or not name:
+        return None
+    from repro.sql.lexer import tokenize
+
+    try:
+        tokens = tokenize(text)
+    except ParseError:
+        return None
+    bare = name.split(".")[-1]
+    count = 0
+    for token in tokens:
+        if token.kind in ("IDENT", "KEYWORD") and str(token.value).lower() == bare.lower():
+            count += 1
+            if count == occurrence:
+                return SourceSpan(
+                    token.position, len(str(token.value)), token.line, token.column
+                )
+    return None

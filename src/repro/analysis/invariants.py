@@ -1,0 +1,354 @@
+"""Post-planning invariant verification (EII4xx diagnostics).
+
+Run over a `FederatedPlan` in strict mode (`validate=True`), these checks
+catch planner bugs *before* execution ships a byte: every pushed-down
+component query must fit its source's declared capabilities, the plan's
+fetch/bind-join bookkeeping must match the tree, dependency tags must be
+complete (cache invalidation relies on them), accidental cartesian products
+are flagged, and partial-result degradability annotations must only appear
+where dropping a branch cannot fabricate wrong answers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.analysis.diagnostics import Diagnostic, error, warning
+from repro.federation.nodes import LogicalBindJoin, LogicalFetch
+from repro.sql.ast import BinaryOp, ColumnRef, Expr, InList, Literal, Select, Star
+from repro.sql.exprutil import column_refs, split_conjuncts
+from repro.sql.printer import to_sql
+
+
+def verify_plan(plan) -> List[Diagnostic]:
+    """EII4xx diagnostics for a `FederatedPlan` (never raises)."""
+    diags: List[Diagnostic] = []
+    walked_fetches = []
+    walked_binds = []
+    for node in plan.root.walk():
+        if isinstance(node, LogicalFetch):
+            walked_fetches.append(node)
+        elif isinstance(node, LogicalBindJoin):
+            walked_binds.append(node)
+
+    diags.extend(_check_bookkeeping(plan, walked_fetches, walked_binds))
+    for node in walked_fetches:
+        diags.extend(_check_fetch_capabilities(node))
+        diags.extend(_check_tags(node, "fetch"))
+        diags.extend(_check_fetch_connectivity(node))
+    for node in walked_binds:
+        diags.extend(_check_bind_capabilities(node))
+        diags.extend(_check_tags(node, "bind join"))
+    diags.extend(_check_cartesian(plan))
+    diags.extend(_check_degradable(plan))
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# EII403 — plan bookkeeping
+# ---------------------------------------------------------------------------
+
+
+def _check_bookkeeping(plan, walked_fetches, walked_binds) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for label, walked, listed in (
+        ("fetch", walked_fetches, plan.fetches),
+        ("bind join", walked_binds, plan.bind_joins),
+    ):
+        walked_ids = {id(node) for node in walked}
+        listed_ids = {id(node) for node in listed}
+        for node in walked:
+            if id(node) not in listed_ids:
+                diags.append(
+                    error(
+                        "EII403",
+                        f"{label} {node.label()} is in the plan tree but "
+                        f"missing from the plan's {label} list",
+                        hint="the executor would never prefetch/track it",
+                    )
+                )
+        for node in listed:
+            if id(node) not in walked_ids:
+                diags.append(
+                    error(
+                        "EII403",
+                        f"{label} {node.label()} is listed on the plan but "
+                        "absent from the plan tree",
+                        hint="stale bookkeeping: the node can never run",
+                    )
+                )
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# EII401 — capability conformance of pushed-down work
+# ---------------------------------------------------------------------------
+
+
+def _check_fetch_capabilities(node: LogicalFetch) -> List[Diagnostic]:
+    reasons = _capability_reasons(node.stmt, node.source)
+    if not reasons:
+        return []
+    return [
+        error(
+            "EII401",
+            f"fetch {to_sql(node.stmt)} exceeds the capabilities of source "
+            f"{node.source.name!r}",
+            hint="; ".join(reasons),
+        )
+    ]
+
+
+def _check_bind_capabilities(node: LogicalBindJoin) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    reasons = _capability_reasons(node.template, node.source)
+    if reasons:
+        diags.append(
+            error(
+                "EII401",
+                f"bind-join template {to_sql(node.template)} exceeds the "
+                f"capabilities of source {node.source.name!r}",
+                hint="; ".join(reasons),
+            )
+        )
+    required = _required_binding(node.template, node.source)
+    if required is not None and node.right_key.name.lower() != required:
+        diags.append(
+            error(
+                "EII401",
+                f"bind join probes {node.source.name!r} on "
+                f"{node.right_key.name!r} but the source demands a binding "
+                f"on {required!r}",
+                hint="the source would reject every component query",
+            )
+        )
+    return diags
+
+
+def _required_binding(stmt: Select, source) -> Optional[str]:
+    for ref in stmt.tables():
+        required = source.capabilities.required_binding(ref.name)
+        if required is not None:
+            return required
+    return None
+
+
+def _capability_reasons(stmt: Select, source) -> List[str]:
+    """Why `stmt` cannot run at `source`; binding-supplier conjuncts exempt.
+
+    A fetch against a binding-pattern source legitimately carries
+    `col = literal` / `col IN (...)` on the required column even when the
+    dialect (e.g. scan-only web services) supports no predicates at all —
+    the wrapper consumes those conjuncts as call parameters.
+    """
+    from repro.wrappers.pushability import unsupported_reasons
+
+    dialect = source.capabilities.dialect
+    reasons: List[str] = []
+    if len(stmt.tables()) > 1 and not dialect.supports_join:
+        reasons.append(f"{dialect}: join pushdown not supported")
+    if (stmt.group_by or stmt.having is not None) and not dialect.supports_aggregate:
+        reasons.append(f"{dialect}: aggregate pushdown not supported")
+    if (stmt.order_by or stmt.limit is not None) and not dialect.supports_sort_limit:
+        reasons.append(f"{dialect}: sort/limit pushdown not supported")
+
+    required = _required_binding(stmt, source)
+    exprs: List[Expr] = []
+    for item in stmt.items:
+        exprs.append(item.expr)
+    for conjunct in split_conjuncts(stmt.where):
+        if required is not None and _supplies_binding(conjunct, required):
+            continue
+        exprs.append(conjunct)
+    exprs.extend(stmt.group_by)
+    if stmt.having is not None:
+        exprs.append(stmt.having)
+    exprs.extend(order.expr for order in stmt.order_by)
+    for join in stmt.joins:
+        if join.condition is not None:
+            exprs.append(join.condition)
+    for expr in exprs:
+        if isinstance(expr, (Star, ColumnRef)):
+            continue
+        reasons.extend(unsupported_reasons(expr, dialect))
+    return reasons
+
+
+def _supplies_binding(conjunct: Expr, required: str) -> bool:
+    """`col = literal` or `col IN (literals)` on the required column."""
+    if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+        sides = (conjunct.left, conjunct.right)
+        for ref, other in (sides, sides[::-1]):
+            if (
+                isinstance(ref, ColumnRef)
+                and isinstance(other, Literal)
+                and ref.name.lower() == required
+            ):
+                return True
+        return False
+    if isinstance(conjunct, InList) and not conjunct.negated:
+        return (
+            isinstance(conjunct.operand, ColumnRef)
+            and conjunct.operand.name.lower() == required
+            and all(isinstance(item, Literal) for item in conjunct.items)
+        )
+    return False
+
+
+# ---------------------------------------------------------------------------
+# EII404 — dependency-tag completeness
+# ---------------------------------------------------------------------------
+
+
+def _check_tags(node, label: str) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    if not node.tables:
+        diags.append(
+            error(
+                "EII404",
+                f"{label} {node.label()} has no `tables` tags: replica "
+                "failover cannot find alternate sources for it",
+                hint="the planner must stamp the global table names it reads",
+            )
+        )
+    missing = {str(t).lower() for t in node.tables} - {
+        str(t).lower() for t in node.depends_on
+    }
+    if missing:
+        diags.append(
+            error(
+                "EII404",
+                f"{label} {node.label()} reads {sorted(missing)} but its "
+                "cache-invalidation tags (`depends_on`) omit them",
+                hint="writes to those tables would leave stale cache entries",
+            )
+        )
+    return diags
+
+
+# ---------------------------------------------------------------------------
+# EII402 — accidental cartesian products
+# ---------------------------------------------------------------------------
+
+
+def _check_cartesian(plan) -> List[Diagnostic]:
+    from repro.engine.logical import LogicalJoin
+
+    diags: List[Diagnostic] = []
+    for node in plan.root.walk():
+        if (
+            isinstance(node, LogicalJoin)
+            and node.kind == "INNER"
+            and node.condition is None
+        ):
+            diags.append(
+                warning(
+                    "EII402",
+                    "plan contains an inner join with no condition "
+                    "(cartesian product) at the assembly site",
+                    hint="add a join predicate unless the cross product is "
+                    "intentional (CROSS JOIN)",
+                )
+            )
+    return diags
+
+
+def _check_fetch_connectivity(node: LogicalFetch) -> List[Diagnostic]:
+    """A multi-table fetch whose tables are not all equi-join-connected."""
+    stmt = node.stmt
+    bindings = [ref.binding.lower() for ref in stmt.tables()]
+    if len(bindings) < 2:
+        return []
+    conjuncts: List[Expr] = list(split_conjuncts(stmt.where))
+    for join in stmt.joins:
+        conjuncts.extend(split_conjuncts(join.condition))
+    # union-find over bindings connected by any multi-binding predicate
+    parent = {b: b for b in bindings}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    known = set(bindings)
+    for conjunct in conjuncts:
+        touched: Set[str] = set()
+        for ref in column_refs(conjunct):
+            if ref.qualifier is not None and ref.qualifier.lower() in known:
+                touched.add(ref.qualifier.lower())
+            elif ref.qualifier is None:
+                touched = set()  # unqualified: cannot attribute, be lenient
+                break
+        touched = {find(b) for b in touched}
+        if len(touched) >= 2:
+            first, *rest = touched
+            for other in rest:
+                parent[other] = first
+    roots = {find(b) for b in bindings}
+    if len(roots) < 2:
+        return []
+    return [
+        warning(
+            "EII402",
+            f"fetch {to_sql(stmt)} joins {len(bindings)} tables but its "
+            f"predicates leave {len(roots)} disconnected groups: the source "
+            "computes a cartesian product",
+            hint="connect every table with a join predicate",
+        )
+    ]
+
+
+# ---------------------------------------------------------------------------
+# EII405 — degradability soundness
+# ---------------------------------------------------------------------------
+
+
+def _check_degradable(plan) -> List[Diagnostic]:
+    """Flag degradable marks on branches whose loss would fabricate answers.
+
+    Recomputes the legal marking with the same traversal the engine uses
+    (union arms and nullable sides of LEFT joins are non-essential) and
+    reports any node marked degradable beyond it.
+    """
+    from repro.engine.logical import LogicalJoin, LogicalUnion
+
+    allowed: Set[int] = set()
+
+    def mark(node, degradable: bool) -> None:
+        if isinstance(node, LogicalFetch):
+            if degradable:
+                allowed.add(id(node))
+            return
+        if isinstance(node, LogicalBindJoin):
+            if degradable or node.kind == "LEFT":
+                allowed.add(id(node))
+            mark(node.left, degradable)
+            return
+        if isinstance(node, LogicalUnion):
+            for child in node.children:
+                mark(child, True)
+            return
+        if isinstance(node, LogicalJoin):
+            mark(node.left, degradable)
+            mark(node.right, degradable or node.kind == "LEFT")
+            return
+        for child in node.children:
+            mark(child, degradable)
+
+    mark(plan.root, False)
+    diags: List[Diagnostic] = []
+    for node in plan.root.walk():
+        if not isinstance(node, (LogicalFetch, LogicalBindJoin)):
+            continue
+        if getattr(node, "degradable", False) and id(node) not in allowed:
+            diags.append(
+                error(
+                    "EII405",
+                    f"{node.label()} is marked degradable but feeds an "
+                    "essential branch: dropping it would fabricate answers",
+                    hint="only union arms and nullable LEFT-join sides may "
+                    "degrade under partial_results",
+                )
+            )
+    return diags

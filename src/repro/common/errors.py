@@ -12,13 +12,22 @@ class EIIError(Exception):
 class ParseError(EIIError):
     """Raised by the SQL lexer/parser on malformed input.
 
-    Carries the offending position so tools can point at the token.
+    Carries the offending position so tools can point at the token. When the
+    source text is available the message carries a 1-based line/column
+    location (and `line`/`column` are set); otherwise the raw offset.
     """
 
     def __init__(self, message, position=None, text=None):
         self.position = position
         self.text = text
-        if position is not None:
+        self.line = None
+        self.column = None
+        if position is not None and text is not None:
+            prefix = text[:position]
+            self.line = prefix.count("\n") + 1
+            self.column = position - (prefix.rfind("\n") + 1) + 1
+            message = f"{message} (at line {self.line}, column {self.column})"
+        elif position is not None:
             message = f"{message} (at offset {position})"
         super().__init__(message)
 

@@ -64,9 +64,13 @@ from repro.sql.parser import parse
 class LocalEngine:
     """Cost-based SQL engine over one `repro.storage.Database`."""
 
-    def __init__(self, db, optimize: bool = True):
+    def __init__(self, db, optimize: bool = True, validate: bool = False):
         self.db = db
         self.optimize = optimize
+        #: opt-in strict mode: run static semantic analysis before binding
+        #: and raise `AnalysisError` (with every defect listed) instead of
+        #: failing on the binder's first complaint
+        self.validate = validate
         self.resolver = DatabaseResolver(db)
         self.cost_model = CostModel(_StatsAdapter(db))
 
@@ -89,6 +93,8 @@ class LocalEngine:
         """Run a DML statement, returning the affected-row count."""
         if isinstance(statement, str):
             statement = parse(statement)
+        if self.validate:
+            self._validate_statement(statement)
         if isinstance(statement, Insert):
             return self._insert(statement)
         if isinstance(statement, Update):
@@ -98,16 +104,29 @@ class LocalEngine:
         raise PlanError(f"execute() cannot run {type(statement).__name__}")
 
     def logical_plan(self, query: Union[str, Select, LogicalPlan]) -> LogicalPlan:
+        text = query if isinstance(query, str) else None
         if isinstance(query, str):
             statement = parse(query)
             if not isinstance(statement, (Select, UnionSelect)):
                 raise PlanError("query() only runs SELECT; use execute() for DML")
             query = statement
         if isinstance(query, (Select, UnionSelect)):
+            if self.validate:
+                self._validate_statement(query, text)
             query = bind_select(query, self.resolver)
         if self.optimize:
             query = optimize_logical(query, self.cost_model)
         return query
+
+    def _validate_statement(self, statement, text: Optional[str] = None) -> None:
+        """Strict mode: collect every semantic defect, then raise typed."""
+        # lazy import: repro.analysis pulls in federation plan nodes
+        from repro.analysis import AnalysisError, AnalysisReport, analyze_statement
+
+        report = AnalysisReport()
+        report.extend(analyze_statement(statement, self.resolver, text))
+        if not report.ok:
+            raise AnalysisError(report)
 
     def physical_plan(self, query: Union[str, Select, LogicalPlan]) -> PhysicalOp:
         return self.lower(self.logical_plan(query))

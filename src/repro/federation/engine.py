@@ -343,6 +343,7 @@ class FederatedEngine:
         clock=time.time,
         resilience: Union[ResiliencePolicy, ResilienceManager, None] = None,
         partial_results: bool = False,
+        validate: bool = False,
     ):
         self.catalog = catalog
         self.network = network or NetworkModel()
@@ -381,6 +382,11 @@ class FederatedEngine:
         #: opt-in: degrade failed non-essential branches to annotated
         #: partial results instead of failing the whole query
         self.partial_results = partial_results
+        #: opt-in strict mode: run static analysis before planning and plan
+        #: invariant verification after it, raising `AnalysisError` with
+        #: zero bytes shipped when a query is statically infeasible
+        self.validate = validate
+        self._analyzer = None
         self._scratch = Database("assembly")
         self._local = LocalEngine(self._scratch, optimize=False)
 
@@ -391,6 +397,10 @@ class FederatedEngine:
         statement, canonical = canonical_statement(query)
         if not isinstance(statement, (Select, UnionSelect, LogicalPlan)):
             raise PlanError("federated queries must be SELECT statements")
+        if self.validate and not isinstance(statement, LogicalPlan):
+            self._analyze_or_raise(
+                statement, query if isinstance(query, str) else None
+            )
         # The result level keeps its historical contract: only *textual*
         # queries are served whole from cache (now under the canonical key,
         # so reformatted spellings of one query share an entry).
@@ -412,6 +422,8 @@ class FederatedEngine:
         if plan is None:
             plan = self.planner.plan(statement)
             self.cache.put_plan(canonical, plan)
+        if self.validate:
+            self._verify_or_raise(plan)
         if self.admission_budget_s is not None:
             predicted = self.predict_elapsed(plan)
             if predicted > self.admission_budget_s:
@@ -469,10 +481,62 @@ class FederatedEngine:
         return elapsed
 
     def explain(self, query: Union[str, Select, LogicalPlan]) -> str:
-        return self.planner.plan(query).pretty()
+        plan = self.planner.plan(query)
+        lines = [plan.pretty()]
+        try:
+            statement, _ = canonical_statement(query)
+            report = self._get_analyzer().analyze(
+                statement, query if isinstance(query, str) else None
+            )
+            report.extend(self._get_analyzer().verify(plan).diagnostics)
+        except EIIError:
+            report = None
+        if report is not None and len(report):
+            lines.append("diagnostics:")
+            lines.extend(f"  {d.render()}" for d in report)
+        return "\n".join(lines)
+
+    def _get_analyzer(self):
+        # imported lazily: repro.analysis imports federation plan nodes, so
+        # a module-level import here would be circular
+        if self._analyzer is None:
+            from repro.analysis import QueryAnalyzer
+
+            self._analyzer = QueryAnalyzer(catalog=self.catalog)
+        return self._analyzer
+
+    def _analyze_or_raise(self, statement, text) -> None:
+        """Strict-mode pre-flight: reject infeasible queries byte-free."""
+        from repro.analysis import AnalysisError
+
+        report = self._get_analyzer().analyze(statement, text)
+        if not report.ok:
+            raise AnalysisError(
+                report, metrics=MetricsCollector(network=self.network)
+            )
+
+    def _verify_or_raise(self, plan: FederatedPlan) -> None:
+        """Strict-mode post-planning invariant check."""
+        from repro.analysis import AnalysisError
+
+        report = self._get_analyzer().verify(plan)
+        if not report.ok:
+            raise AnalysisError(
+                report, metrics=MetricsCollector(network=self.network)
+            )
 
     def execute_plan(self, plan: FederatedPlan) -> FederatedResult:
         metrics = MetricsCollector(network=self.network)
+        try:
+            return self._execute_plan(plan, metrics)
+        except EIIError as exc:
+            # Attach the partial accounting so callers (benchmarks, tests)
+            # can observe how many bytes a failed query shipped before dying.
+            if getattr(exc, "metrics", None) is None:
+                exc.metrics = metrics
+            raise
+
+    def _execute_plan(self, plan: FederatedPlan, metrics: MetricsCollector) -> FederatedResult:
         runtime = _FetchRuntime(self, metrics, plan.assembly_site)
         if self.resilience is not None or self.partial_results:
             runtime.report = CompletenessReport()

@@ -7,6 +7,8 @@ Commands:
     \sources            list registered sources and their dialects
     \tables             list federated tables
     \explain <sql>      show the federated plan without executing
+    \lint <sql|path>    static analysis: a query, or a workspace directory
+                        of .sql/.gav/.lav files (typed EIIxxx diagnostics)
     \metrics            toggle per-query execution accounting
     \quit               exit
 
@@ -74,12 +76,35 @@ class Shell:
             except EIIError as exc:
                 self.write(f"error: {exc}")
             return True
+        if command == "\\lint":
+            if not argument.strip():
+                self.write("usage: \\lint <sql | workspace path>")
+                return True
+            self._lint(argument.strip())
+            return True
         if command == "\\metrics":
             self.show_metrics = not self.show_metrics
             self.write(f"metrics {'on' if self.show_metrics else 'off'}")
             return True
-        self.write(f"unknown command {command!r} (try \\sources \\tables \\explain \\quit)")
+        self.write(
+            f"unknown command {command!r} "
+            "(try \\sources \\tables \\explain \\lint \\quit)"
+        )
         return True
+
+    def _lint(self, argument: str) -> None:
+        """Static analysis of one query, or of a workspace directory."""
+        import os
+
+        from repro.analysis import QueryAnalyzer, lint_workspace
+
+        if os.path.exists(argument):
+            report = lint_workspace(argument, self.engine.catalog)
+        else:
+            report = QueryAnalyzer(catalog=self.engine.catalog).analyze(argument)
+        for diagnostic in report:
+            self.write(f"  {diagnostic.render()}")
+        self.write(report.headline())
 
     def _run_sql(self, sql: str) -> None:
         try:

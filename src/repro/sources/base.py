@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.common.errors import SourceError
 from repro.common.relation import Relation
@@ -44,7 +44,15 @@ class SourceCapabilities:
     per_query_overhead_s: float = 0.005
     time_per_cost_unit_s: float = 2e-6
     allows_external_queries: bool = True
-    binding_patterns: dict = field(default_factory=dict)  # table -> required column
+    #: table -> column that must be bound (by a literal or a join key) before
+    #: the source will answer; names are case-normalized at construction
+    binding_patterns: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.binding_patterns = {
+            table.lower(): column.lower()
+            for table, column in self.binding_patterns.items()
+        }
 
     def required_binding(self, table: str) -> Optional[str]:
         return self.binding_patterns.get(table.lower())

@@ -28,6 +28,10 @@ class Token:
     kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
     value: object
     position: int
+    #: 1-based source location of the token's first character. Defaults keep
+    #: hand-built tokens (tests, tools) valid; `tokenize` always fills them.
+    line: int = 1
+    column: int = 1
 
     def is_keyword(self, *words: str) -> bool:
         return self.kind == "KEYWORD" and self.value in words
@@ -40,25 +44,52 @@ class Token:
 
 
 def tokenize(text: str) -> list[Token]:
-    """Lex `text` into tokens, ending with an EOF token."""
+    """Lex `text` into tokens, ending with an EOF token.
+
+    Every token records its starting offset plus 1-based line/column, so
+    parse errors and static-analysis diagnostics can point at the source.
+    """
     tokens: list[Token] = []
     i, n = 0, len(text)
+    line, line_start = 1, 0
+
+    def advance_lines(start: int, end: int) -> None:
+        """Account for newlines inside a consumed slice (strings, comments)."""
+        nonlocal line, line_start
+        idx = text.find("\n", start, end)
+        while idx >= 0:
+            line += 1
+            line_start = idx + 1
+            idx = text.find("\n", idx + 1, end)
+
+    def emit(kind: str, value, start: int) -> None:
+        tokens.append(Token(kind, value, start, line, start - line_start + 1))
+
     while i < n:
         ch = text[i]
         if ch.isspace():
+            if ch == "\n":
+                line += 1
+                line_start = i + 1
             i += 1
             continue
         if text.startswith("--", i):  # line comment
             end = text.find("\n", i)
             i = n if end < 0 else end + 1
+            if end >= 0:
+                line += 1
+                line_start = end + 1
             continue
         if ch == "'":
+            start = i
             value, i = _lex_string(text, i)
-            tokens.append(Token("STRING", value, i))
+            emit("STRING", value, start)
+            advance_lines(start, i)
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
             value, i = _lex_number(text, i)
-            tokens.append(Token("NUMBER", value, i))
+            emit("NUMBER", value, start)
             continue
         if ch.isalpha() or ch == "_":
             start = i
@@ -67,22 +98,22 @@ def tokenize(text: str) -> list[Token]:
             word = text[start:i]
             upper = word.upper()
             if upper in KEYWORDS:
-                tokens.append(Token("KEYWORD", upper, start))
+                emit("KEYWORD", upper, start)
             else:
-                tokens.append(Token("IDENT", word, start))
+                emit("IDENT", word, start)
             continue
         two = text[i : i + 2]
         if two in _TWO_CHAR_OPS:
             canonical = "<>" if two == "!=" else two
-            tokens.append(Token("OP", canonical, i))
+            emit("OP", canonical, i)
             i += 2
             continue
         if ch in _ONE_CHAR_OPS:
-            tokens.append(Token("OP", ch, i))
+            emit("OP", ch, i)
             i += 1
             continue
         raise ParseError(f"unexpected character {ch!r}", position=i, text=text)
-    tokens.append(Token("EOF", None, n))
+    emit("EOF", None, n)
     return tokens
 
 

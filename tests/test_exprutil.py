@@ -110,3 +110,81 @@ class TestShapes:
     def test_equi_join_rejects_non_equality(self):
         assert equi_join_sides(parse_expression("t.a < u.b")) is None
         assert equi_join_sides(parse_expression("t.a = 3")) is None
+
+
+class TestRewriteCoverage:
+    """Rewrites must descend into every composite node shape.
+
+    The static analyzer (repro.analysis) keys grouping and pushability
+    checks on rewritten/printed trees, so a node type that `transform`
+    silently skips would make those checks miss defects.
+    """
+
+    def _bump_literals(self, node):
+        if isinstance(node, Literal) and isinstance(node.value, int):
+            return Literal(node.value + 1)
+        return None
+
+    def test_transform_descends_into_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert transform(expr, self._bump_literals) == parse_expression(
+            "a IN (2, 3, 4)"
+        )
+
+    def test_transform_descends_into_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 9")
+        assert transform(expr, self._bump_literals) == parse_expression(
+            "a BETWEEN 2 AND 10"
+        )
+
+    def test_transform_descends_into_case(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 2 ELSE 3 END")
+        assert transform(expr, self._bump_literals) == parse_expression(
+            "CASE WHEN a = 2 THEN 3 ELSE 4 END"
+        )
+
+    def test_transform_descends_into_like_and_isnull(self):
+        expr = parse_expression("t.a LIKE 'x%' AND t.b IS NOT NULL")
+        rewritten = requalify(expr, "t", "u")
+        assert rewritten == parse_expression("u.a LIKE 'x%' AND u.b IS NOT NULL")
+
+    def test_transform_preserves_negation_flags(self):
+        expr = parse_expression("a NOT IN (1) AND b NOT BETWEEN 2 AND 3")
+        assert transform(expr, self._bump_literals) == parse_expression(
+            "a NOT IN (2) AND b NOT BETWEEN 3 AND 4"
+        )
+
+    def test_transform_preserves_distinct_calls(self):
+        expr = parse_expression("COUNT(DISTINCT t.a)")
+        assert transform(expr, lambda node: None) == expr
+
+    def test_transform_identity_equals_input(self):
+        expr = parse_expression(
+            "CASE WHEN a IN (1, 2) THEN UPPER(b) ELSE c || 'x' END"
+        )
+        assert transform(expr, lambda node: None) == expr
+
+    def test_substitute_inside_case(self):
+        expr = parse_expression("CASE WHEN v.x = 1 THEN v.x ELSE 0 END")
+        mapping = {("v", "x"): ColumnRef("a", "t")}
+        assert substitute_columns(expr, mapping) == parse_expression(
+            "CASE WHEN t.a = 1 THEN t.a ELSE 0 END"
+        )
+
+    def test_substitute_is_single_pass(self):
+        # a -> b must not chase b -> c in the same rewrite
+        expr = parse_expression("a + 1")
+        mapping = {ColumnRef("a"): ColumnRef("b"), ColumnRef("b"): ColumnRef("c")}
+        assert substitute_columns(expr, mapping) == parse_expression("b + 1")
+
+    def test_requalify_leaves_other_qualifiers(self):
+        expr = parse_expression("t.a = u.a")
+        assert requalify(expr, "t", "x") == parse_expression("x.a = u.a")
+
+    def test_requalify_is_case_insensitive(self):
+        expr = parse_expression("T.a = 1")
+        assert requalify(expr, "t", "u") == parse_expression("u.a = 1")
+
+    def test_requalify_strip_qualifier(self):
+        expr = parse_expression("t.a = 1")
+        assert requalify(expr, "t", None) == parse_expression("a = 1")

@@ -13,9 +13,15 @@ from repro.sql.ast import (
     FuncCall,
     InList,
     IsNull,
+    JoinClause,
     Like,
     Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    TableRef,
     UnaryOp,
+    UnionSelect,
 )
 from repro.sql.printer import PrintOptions, expr_to_sql
 
@@ -120,3 +126,85 @@ def test_expression_print_parse_round_trip(expr):
     printed = expr_to_sql(expr)
     reparsed = parse_expression(printed)
     assert reparsed == expr, f"{printed!r} reparsed as {reparsed}"
+
+
+# -- statement-level round trip ----------------------------------------------
+#
+# The static analyzer keys grouping checks on canonically printed SQL
+# (`expr_to_sql(e).lower()`), so the printer and parser must agree on whole
+# statements, not just expressions.
+
+_aliases = st.sampled_from([None, "v", "w"])
+_select_items = st.tuples(expression_trees, _aliases).map(
+    lambda t: SelectItem(t[0], t[1])
+)
+_table_refs = st.sampled_from(
+    [TableRef("t"), TableRef("tbl", "t"), TableRef("u"), TableRef("other", "u")]
+)
+_order_items = st.tuples(_columns, st.booleans()).map(
+    lambda t: OrderItem(t[0], t[1])
+)
+
+
+def _dedupe_bindings(tables):
+    seen, out = set(), []
+    for table in tables:
+        if table.binding not in seen:
+            seen.add(table.binding)
+            out.append(table)
+    return tuple(out)
+
+
+select_statements = st.builds(
+    Select,
+    items=st.lists(_select_items, min_size=1, max_size=3).map(tuple),
+    from_tables=st.lists(_table_refs, min_size=1, max_size=2).map(
+        _dedupe_bindings
+    ),
+    joins=st.lists(
+        st.tuples(
+            st.sampled_from([TableRef("j1"), TableRef("joined", "j2")]),
+            st.sampled_from(["INNER", "LEFT"]),
+            expression_trees,
+        ).map(lambda t: JoinClause(t[0], t[1], t[2])),
+        max_size=1,
+    ).map(tuple),
+    where=st.none() | expression_trees,
+    group_by=st.lists(_columns, max_size=2, unique=True).map(tuple),
+    having=st.none() | expression_trees,
+    order_by=st.lists(_order_items, max_size=2).map(tuple),
+    limit=st.none() | st.integers(min_value=0, max_value=99),
+    distinct=st.booleans(),
+)
+
+
+@given(select_statements)
+@settings(max_examples=200, deadline=None)
+def test_statement_print_parse_round_trip(stmt):
+    """parse(to_sql(s)) == s for every generatable SELECT statement."""
+    printed = to_sql(stmt)
+    reparsed = parse(printed)
+    assert reparsed == stmt, f"{printed!r} reparsed as {to_sql(reparsed)!r}"
+
+
+@given(
+    st.lists(select_statements, min_size=2, max_size=3).map(tuple),
+    st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_union_print_parse_round_trip(selects, all_flag):
+    # order_by/limit on branches would be lifted to the union by the parser,
+    # so the branch statements must not carry their own
+    trimmed = tuple(
+        Select(
+            items=s.items,
+            from_tables=s.from_tables,
+            joins=s.joins,
+            where=s.where,
+            group_by=s.group_by,
+            having=s.having,
+        )
+        for s in selects
+    )
+    stmt = UnionSelect(trimmed, all=all_flag)
+    assert parse(to_sql(stmt)) == stmt
