@@ -82,6 +82,9 @@ class CacheHierarchy:
             if c.result_enabled
             else None
         )
+        #: optional `repro.trace` tracer — invalidations happen *between*
+        #: queries, so they are recorded as session events, not spans
+        self.tracer = None
 
     # -- plan level --------------------------------------------------------------
 
@@ -146,6 +149,13 @@ class CacheHierarchy:
             counts["fetch"] = self.fetches.invalidate_tag(table)
         if self.results is not None:
             counts["result"] = self.results.invalidate_tag(table)
+        if self.tracer is not None:
+            self.tracer.session_event(
+                "cache.invalidate",
+                table=table,
+                fetch=counts["fetch"],
+                result=counts["result"],
+            )
         return counts
 
     def attach(self, broker) -> None:

@@ -44,7 +44,9 @@ from repro.federation.resilience import (
 from repro.netsim.metrics import MetricsCollector
 from repro.netsim.network import NetworkModel
 from repro.sql.ast import Select, UnionSelect
+from repro.sql.printer import to_sql
 from repro.storage.catalog import Database
+from repro.trace import NULL_TRACER, Tracer, explain_analyze, instrument_physical
 
 #: Simulated seconds per local cost unit at the assembly site.
 HUB_TIME_PER_COST_UNIT_S = 2e-6
@@ -82,6 +84,12 @@ class FederatedResult:
     completeness: Optional[CompletenessReport] = None
     #: breaker state per source at the end of execution (resilience only)
     breaker_states: dict = field(default_factory=dict)
+    #: span tree for this execution (None unless a tracer was attached or
+    #: the query ran with analyze=True)
+    trace: Optional[object] = None
+    #: the executed physical operator tree, retained (with per-operator
+    #: actual row counts) only when tracing, for EXPLAIN ANALYZE
+    physical: Optional[object] = None
 
     @property
     def is_partial(self) -> bool:
@@ -89,11 +97,13 @@ class FederatedResult:
 
     def explain(self) -> str:
         lines = [self.plan.pretty()]
-        summary = self.metrics.summary()
-        lines.append(
-            "metrics: "
-            + ", ".join(f"{key}={value}" for key, value in sorted(summary.items()))
-        )
+        lines.append(_counter_line("metrics", self.metrics.base_summary()))
+        cache = self.metrics.cache_summary()
+        if any(cache.values()):
+            lines.append(_counter_line("cache", cache))
+        resilience = self.metrics.resilience_summary()
+        if any(resilience.values()):
+            lines.append(_counter_line("resilience", resilience))
         lines.append(f"simulated elapsed: {self.elapsed_seconds:.4f}s")
         if self.breaker_states:
             lines.append(
@@ -104,8 +114,19 @@ class FederatedResult:
                 )
             )
         if self.completeness is not None:
-            lines.append(f"completeness: {self.completeness.describe()}")
+            prefix = "completeness: PARTIAL — " if self.is_partial else "completeness: "
+            lines.append(prefix + self.completeness.describe())
         return "\n".join(lines)
+
+    def explain_analyze(self) -> str:
+        """EXPLAIN ANALYZE text (requires the query to have been traced)."""
+        return explain_analyze(self)
+
+
+def _counter_line(section: str, counters: dict) -> str:
+    return f"{section}: " + ", ".join(
+        f"{key}={value}" for key, value in sorted(counters.items())
+    )
 
 
 class _FetchRuntime:
@@ -125,6 +146,9 @@ class _FetchRuntime:
         self.site = site
         self.local: dict[int, Relation] = {}
         self.report: Optional[CompletenessReport] = None
+        #: span for the assembly phase; bind-join chunk spans attach here
+        #: (None when tracing is off — every trace call site guards on it)
+        self.span = None
 
     @property
     def _store(self):
@@ -184,7 +208,7 @@ class _FetchRuntime:
                 rename[primary_local] = mapping[global_name]
             yield source, rename_statement_tables(stmt, rename)
 
-    def _remote_fetch(self, node, stmt, collector, description):
+    def _remote_fetch(self, node, stmt, collector, description, span=None):
         """Execute `stmt` with retries/breaker/failover per the policy.
 
         Returns ``(relation, cost_seconds, source_used, stmt_used)``; raises
@@ -203,28 +227,39 @@ class _FetchRuntime:
                         s, q, collector, description
                     ),
                     collector,
+                    span=span,
                 )
             except SourceError as exc:
                 last_error = exc
                 continue
             if index > 0:
                 collector.failovers += 1
+                if span is not None:
+                    span.set(failover_to=source.name)
+                    span.event(
+                        "failover", span.offset_from(collector), source=source.name
+                    )
             return raw, cost, source, candidate_stmt
         assert last_error is not None
         raise last_error
 
-    def _degrade(self, node, error, collector, kind) -> bool:
+    def _degrade(self, node, error, collector, kind, span=None) -> bool:
         """Record a skipped non-essential branch; True when degradation applies."""
         if not self.engine.partial_results or not getattr(node, "degradable", False):
             return False
         collector.degraded_fetches += 1
+        if span is not None:
+            span.set(degraded=True)
+            span.event(
+                "degraded", span.offset_from(collector), kind=kind, error=str(error)
+            )
         if self.report is not None:
             self.report.note_skipped(
                 node.source.name, node.tables, error, node.est_rows, kind
             )
         return True
 
-    def _note_stale_if_down(self, node, collector) -> None:
+    def _note_stale_if_down(self, node, collector, span=None) -> None:
         """Annotate a cache hit whose every access path is currently down.
 
         A fetch served from cache never touches a breaker — but when the
@@ -241,16 +276,25 @@ class _FetchRuntime:
                 if not manager.source_down(source.name):
                     return
         collector.stale_cache_hits += 1
+        if span is not None:
+            span.event("cache.stale_hit", span.offset_from(collector))
         if self.report is not None:
             self.report.note_stale(node.tables or node.depends_on)
 
     # -- fetch / bind-fetch ------------------------------------------------------
 
-    def fetch(self, node: LogicalFetch, metrics: Optional[MetricsCollector] = None) -> Relation:
+    def fetch(
+        self,
+        node: LogicalFetch,
+        metrics: Optional[MetricsCollector] = None,
+        span=None,
+    ) -> Relation:
         cached = self.local.get(id(node))
         if cached is not None:
             return cached
         collector = metrics if metrics is not None else self.metrics
+        if span is not None:
+            span.clock_base = collector.simulated_seconds
         key = fetch_key(node.source.name, node.stmt) if self._store is not None else None
         if key is not None:
             entry = self.engine.cache.get_fetch(key)
@@ -258,19 +302,29 @@ class _FetchRuntime:
                 collector.fetch_cache_hits += 1
                 collector.cache_seconds_saved += entry.cost_seconds
                 collector.cache_bytes_saved += entry.size_bytes
-                self._note_stale_if_down(node, collector)
+                if span is not None:
+                    span.set(cache="hit")
+                    span.event(
+                        "cache.hit",
+                        span.offset_from(collector),
+                        seconds_saved=entry.cost_seconds,
+                        bytes_saved=entry.size_bytes,
+                    )
+                self._note_stale_if_down(node, collector, span)
                 if self.report is not None:
                     self.report.note_answered(node.source.name, node.est_rows)
                 result = Relation(node.schema, entry.value.rows)
                 self.local[id(node)] = result
                 return result
             collector.fetch_cache_misses += 1
+            if span is not None:
+                span.set(cache="miss")
         try:
             raw, cost_seconds, source_used, _ = self._remote_fetch(
-                node, node.stmt, collector, f"fetch from {node.source.name}"
+                node, node.stmt, collector, f"fetch from {node.source.name}", span
             )
         except EIIError as exc:
-            if self._degrade(node, exc, collector, "fetch"):
+            if self._degrade(node, exc, collector, "fetch", span):
                 result = Relation(node.schema, [])
                 self.local[id(node)] = result
                 return result
@@ -293,34 +347,74 @@ class _FetchRuntime:
         if not keys:
             return Relation(node.fetch_schema, [])
         rows: list[tuple] = []
-        for start in range(0, len(keys), node.max_inlist):
+        tag = getattr(node, "_trace_tag", None)
+        for chunk_index, start in enumerate(range(0, len(keys), node.max_inlist)):
             chunk = keys[start : start + node.max_inlist]
             stmt = with_in_filter(node.template, node.right_key, chunk)
-            key = fetch_key(node.source.name, stmt) if self._store is not None else None
-            if key is not None:
-                entry = self.engine.cache.get_fetch(key)
-                if entry is not None:
-                    self.metrics.fetch_cache_hits += 1
-                    self.metrics.cache_seconds_saved += entry.cost_seconds
-                    self.metrics.cache_bytes_saved += entry.size_bytes
-                    self._note_stale_if_down(node, self.metrics)
-                    rows.extend(entry.value.rows)
-                    continue
-                self.metrics.fetch_cache_misses += 1
-            description = f"bind fetch from {node.source.name} ({len(chunk)} keys)"
+            span = None
+            base_seconds = base_payload = base_wire = base_rows = 0
+            if self.span is not None:
+                span = self.span.child(
+                    f"bind_fetch:{node.source.name}",
+                    category="bind_fetch",
+                    source=node.source.name,
+                    chunk=chunk_index,
+                    keys=len(chunk),
+                    sql=to_sql(node.template),
+                )
+                if tag is not None:
+                    span.set(node=tag)
+                span.clock_base = self.metrics.simulated_seconds
+                base_seconds = self.metrics.simulated_seconds
+                base_payload = self.metrics.payload_bytes
+                base_wire = self.metrics.wire_bytes
+                base_rows = self.metrics.rows_shipped
             try:
-                raw, cost_seconds, source_used, _ = self._remote_fetch(
-                    node, stmt, self.metrics, description
+                key = (
+                    fetch_key(node.source.name, stmt) if self._store is not None else None
                 )
-            except EIIError as exc:
-                if self._degrade(node, exc, self.metrics, "bind_chunk"):
-                    continue  # this chunk's enrichments are lost, not the query
-                raise
-            if key is not None and source_used is node.source:
-                self.engine.cache.put_fetch(
-                    key, raw, tags=node.depends_on, cost_seconds=cost_seconds
-                )
-            rows.extend(raw.rows)
+                if key is not None:
+                    entry = self.engine.cache.get_fetch(key)
+                    if entry is not None:
+                        self.metrics.fetch_cache_hits += 1
+                        self.metrics.cache_seconds_saved += entry.cost_seconds
+                        self.metrics.cache_bytes_saved += entry.size_bytes
+                        if span is not None:
+                            span.set(cache="hit")
+                            span.event(
+                                "cache.hit",
+                                span.offset_from(self.metrics),
+                                seconds_saved=entry.cost_seconds,
+                                bytes_saved=entry.size_bytes,
+                            )
+                        self._note_stale_if_down(node, self.metrics, span)
+                        rows.extend(entry.value.rows)
+                        continue
+                    self.metrics.fetch_cache_misses += 1
+                    if span is not None:
+                        span.set(cache="miss")
+                description = f"bind fetch from {node.source.name} ({len(chunk)} keys)"
+                try:
+                    raw, cost_seconds, source_used, _ = self._remote_fetch(
+                        node, stmt, self.metrics, description, span
+                    )
+                except EIIError as exc:
+                    if self._degrade(node, exc, self.metrics, "bind_chunk", span):
+                        continue  # this chunk's enrichments are lost, not the query
+                    raise
+                if key is not None and source_used is node.source:
+                    self.engine.cache.put_fetch(
+                        key, raw, tags=node.depends_on, cost_seconds=cost_seconds
+                    )
+                rows.extend(raw.rows)
+            finally:
+                if span is not None:
+                    span.self_seconds = self.metrics.simulated_seconds - base_seconds
+                    span.set(
+                        payload_bytes=self.metrics.payload_bytes - base_payload,
+                        wire_bytes=self.metrics.wire_bytes - base_wire,
+                        rows=self.metrics.rows_shipped - base_rows,
+                    )
         if self.report is not None:
             self.report.note_answered(node.source.name, node.est_rows)
         return Relation(node.fetch_schema, rows)
@@ -344,6 +438,7 @@ class FederatedEngine:
         resilience: Union[ResiliencePolicy, ResilienceManager, None] = None,
         partial_results: bool = False,
         validate: bool = False,
+        tracer=None,
     ):
         self.catalog = catalog
         self.network = network or NetworkModel()
@@ -389,14 +484,32 @@ class FederatedEngine:
         self._analyzer = None
         self._scratch = Database("assembly")
         self._local = LocalEngine(self._scratch, optimize=False)
+        self.tracer = NULL_TRACER
+        self.set_tracer(tracer)
+
+    def set_tracer(self, tracer) -> None:
+        """Attach a `Tracer` (or None for the zero-cost no-op default)."""
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.cache.tracer = self.tracer if self.tracer.enabled else None
 
     # -- public -----------------------------------------------------------------
 
-    def query(self, query: Union[str, Select, LogicalPlan]) -> FederatedResult:
-        """Plan and execute a federated query (cache- and admission-aware)."""
+    def query(
+        self, query: Union[str, Select, LogicalPlan], analyze: bool = False
+    ) -> FederatedResult:
+        """Plan and execute a federated query (cache- and admission-aware).
+
+        With ``analyze=True`` the execution is traced even when the engine
+        has no tracer attached, so `FederatedResult.explain_analyze()` can
+        render the per-node actuals for this one query.
+        """
+        tracer = self.tracer
+        if analyze and not tracer.enabled:
+            tracer = Tracer(keep=1)
         statement, canonical = canonical_statement(query)
         if not isinstance(statement, (Select, UnionSelect, LogicalPlan)):
             raise PlanError("federated queries must be SELECT statements")
+        trace = tracer.begin("query", sql=canonical)
         if self.validate and not isinstance(statement, LogicalPlan):
             self._analyze_or_raise(
                 statement, query if isinstance(query, str) else None
@@ -408,7 +521,7 @@ class FederatedEngine:
         if result_key is not None:
             hit = self.cache.get_result(result_key)
             if hit is not None:
-                return FederatedResult(
+                result = FederatedResult(
                     hit.relation,
                     hit.plan,
                     hit.metrics,
@@ -417,11 +530,28 @@ class FederatedEngine:
                     from_cache=True,
                     completeness=hit.completeness,
                 )
+                if trace is not None:
+                    trace.root.set(result_cache="hit", rows=len(hit.relation))
+                    trace.root.event("cache.result_hit")
+                    tracer.finish(trace)
+                    result.trace = trace
+                return result
+        if trace is not None:
+            trace.root.child("parse", category="parse", sql=canonical)
         plan = self.cache.get_plan(canonical)
         plan_was_cached = plan is not None
+        plan_span = None
+        if trace is not None:
+            plan_span = trace.root.child("plan", category="plan", cached=plan_was_cached)
         if plan is None:
             plan = self.planner.plan(statement)
             self.cache.put_plan(canonical, plan)
+        if plan_span is not None:
+            plan_span.set(
+                assembly_site=plan.assembly_site,
+                fetches=len(plan.fetches),
+                bind_joins=len(plan.bind_joins),
+            )
         if self.validate:
             self._verify_or_raise(plan)
         if self.admission_budget_s is not None:
@@ -432,7 +562,14 @@ class FederatedEngine:
                     f"{self.admission_budget_s:.3f}s admission budget",
                     predicted_seconds=predicted,
                 )
-        result = self.execute_plan(plan)
+        result = self.execute_plan(plan, trace=trace)
+        if trace is not None:
+            trace.root.set(
+                rows=len(result.relation),
+                elapsed_s=result.elapsed_seconds,
+                partial=result.is_partial,
+            )
+            tracer.finish(trace)
         if plan_was_cached:
             result.metrics.plan_cache_hits += 1
         # Partial answers must never be served later as if they were whole.
@@ -525,18 +662,31 @@ class FederatedEngine:
                 report, metrics=MetricsCollector(network=self.network)
             )
 
-    def execute_plan(self, plan: FederatedPlan) -> FederatedResult:
+    def execute_plan(self, plan: FederatedPlan, trace=None) -> FederatedResult:
+        owns_trace = False
+        if trace is None and self.tracer.enabled:
+            # direct execute_plan() callers still get traced
+            trace = self.tracer.begin("execute_plan")
+            owns_trace = True
         metrics = MetricsCollector(network=self.network)
         try:
-            return self._execute_plan(plan, metrics)
+            result = self._execute_plan(plan, metrics, trace)
         except EIIError as exc:
             # Attach the partial accounting so callers (benchmarks, tests)
             # can observe how many bytes a failed query shipped before dying.
             if getattr(exc, "metrics", None) is None:
                 exc.metrics = metrics
             raise
+        if owns_trace and trace is not None:
+            trace.root.set(
+                rows=len(result.relation), elapsed_s=result.elapsed_seconds
+            )
+            self.tracer.finish(trace)
+        return result
 
-    def _execute_plan(self, plan: FederatedPlan, metrics: MetricsCollector) -> FederatedResult:
+    def _execute_plan(
+        self, plan: FederatedPlan, metrics: MetricsCollector, trace=None
+    ) -> FederatedResult:
         runtime = _FetchRuntime(self, metrics, plan.assembly_site)
         if self.resilience is not None or self.partial_results:
             runtime.report = CompletenessReport()
@@ -546,11 +696,36 @@ class FederatedEngine:
             if isinstance(node, (LogicalFetch, LogicalBindJoin)):
                 node.runtime = runtime
 
-        fetch_seconds = self._prefetch(plan.fetches, runtime, metrics)
+        execute_span = None
+        if trace is not None:
+            execute_span = trace.root.child("execute", category="execute")
+            # Deterministic node tags tie spans to plan nodes (an id()-based
+            # key would leak allocation order into the exported JSON).
+            for i, fetch_node in enumerate(plan.fetches):
+                fetch_node._trace_tag = f"fetch[{i}]"
+            for j, bind_node in enumerate(plan.bind_joins):
+                bind_node._trace_tag = f"bind[{j}]"
+
+        fetch_span = None
+        if execute_span is not None:
+            fetch_span = execute_span.child(
+                "prefetch",
+                category="prefetch",
+                parallel_slots=self.parallel_workers,
+            )
+        fetch_seconds = self._prefetch(plan.fetches, runtime, metrics, fetch_span)
         fetch_elapsed = parallel_makespan(fetch_seconds, self.parallel_workers)
 
         after_fetch_work = metrics.simulated_seconds
+        assembly_span = None
+        if execute_span is not None:
+            assembly_span = execute_span.child(
+                "assembly", category="assembly", site=plan.assembly_site
+            )
+            runtime.span = assembly_span  # bind-join chunk spans attach here
         physical = self._local.lower(plan.root)
+        if execute_span is not None:
+            instrument_physical(physical)
         relation = physical.relation()
         # Bind joins and any late fetches executed serially during assembly.
         serial_tail = metrics.simulated_seconds - after_fetch_work
@@ -558,6 +733,7 @@ class FederatedEngine:
         assembly_seconds = self._assembly_cost(plan)
         metrics.charge_seconds(assembly_seconds)
 
+        wire_before = metrics.wire_bytes
         final_transfer = metrics.record_transfer(
             plan.assembly_site,
             "client",
@@ -565,16 +741,31 @@ class FederatedEngine:
             payload_bytes=relation.size_bytes(),
             description="final result to client",
         )
+        if execute_span is not None:
+            assembly_span.self_seconds = assembly_seconds
+            transfer_span = execute_span.child(
+                "final_transfer",
+                category="transfer",
+                rows=len(relation),
+                payload_bytes=relation.size_bytes(),
+                wire_bytes=metrics.wire_bytes - wire_before,
+            )
+            transfer_span.self_seconds = final_transfer
         elapsed = fetch_elapsed + serial_tail + assembly_seconds + final_transfer
         result = FederatedResult(relation, plan, metrics, fetch_seconds, elapsed)
         result.completeness = runtime.report
         if self.resilience is not None:
             result.breaker_states = self.resilience.breaker_states()
+        if trace is not None:
+            result.trace = trace
+            result.physical = physical
         return result
 
     # -- internals ----------------------------------------------------------------
 
-    def _prefetch(self, fetches: list, runtime: _FetchRuntime, metrics) -> list:
+    def _prefetch(
+        self, fetches: list, runtime: _FetchRuntime, metrics, parent_span=None
+    ) -> list:
         """Run component queries concurrently; returns per-fetch sim seconds.
 
         Failure discipline: when any fetch fails, not-yet-started tasks are
@@ -587,24 +778,52 @@ class FederatedEngine:
         if not fetches:
             return durations
 
-        def run_one(node: LogicalFetch):
+        # Spans are created on this thread in submission order (so the trace
+        # is deterministic regardless of completion order); each worker only
+        # ever touches its own span.
+        spans: list = [None] * len(fetches)
+        if parent_span is not None:
+            for i, node in enumerate(fetches):
+                spans[i] = parent_span.child(
+                    f"fetch:{node.source.name}",
+                    category="fetch",
+                    source=node.source.name,
+                    sql=to_sql(node.stmt),
+                )
+                tag = getattr(node, "_trace_tag", None)
+                if tag is not None:
+                    spans[i].set(node=tag)
+
+        def run_one(node: LogicalFetch, span=None):
             local = MetricsCollector(network=self.network)
+            error = None
             try:
-                runtime.fetch(node, metrics=local)
+                runtime.fetch(node, metrics=local, span=span)
             except Exception as exc:  # noqa: BLE001 - re-raised in order below
-                return local, exc
-            return local, None
+                error = exc
+            finally:
+                if span is not None:
+                    span.self_seconds = local.simulated_seconds
+                    span.set(
+                        rows=local.rows_shipped,
+                        payload_bytes=local.payload_bytes,
+                        wire_bytes=local.wire_bytes,
+                    )
+            return local, error
 
         outcomes: list = []
         if self.parallel_workers == 1 or len(fetches) == 1:
-            for node in fetches:
-                outcome = run_one(node)
+            for node, span in zip(fetches, spans):
+                outcome = run_one(node, span)
                 outcomes.append(outcome)
                 if outcome[1] is not None:
                     break  # serial mode: fail fast, later fetches never start
         else:
             with ThreadPoolExecutor(max_workers=self.parallel_workers) as pool:
-                futures = [pool.submit(run_one, node) for node in fetches]
+                futures = [
+                    pool.submit(run_one, node, span)
+                    for node, span in zip(fetches, spans)
+                ]
                 pending = set(futures)
                 while pending:
                     done, pending = wait(pending, return_when=FIRST_COMPLETED)

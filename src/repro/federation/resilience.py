@@ -224,21 +224,28 @@ class ResilienceManager:
             noise = 1.0 + policy.backoff_jitter * (2.0 * self._rng.random() - 1.0)
         return max(0.0, delay * noise)
 
-    def run_guarded(self, source_name: str, attempt_fn, collector=None):
+    def run_guarded(self, source_name: str, attempt_fn, collector=None, span=None):
         """Run `attempt_fn` under the source's breaker with bounded retries.
 
         Backoff is charged to `collector` as simulated seconds and advances
         the shared clock when it is a `SimClock`, which is what lets an
         open breaker's cooldown elapse during a fault schedule. Raises
         `CircuitOpenError` when the breaker rejects the call, else the last
-        attempt's error.
+        attempt's error. When a trace `span` is passed, failures, retries
+        and breaker rejections land on it as timestamped events.
         """
+
+        def offset() -> float:
+            return span.offset_from(collector) if collector is not None else 0.0
+
         breaker = self.breaker(source_name)
         last_error: Optional[Exception] = None
         for attempt in range(max(1, self.policy.max_attempts)):
             if not breaker.allow():
                 if collector is not None:
                     collector.breaker_short_circuits += 1
+                if span is not None:
+                    span.event("breaker.open", offset(), source=source_name)
                 error = CircuitOpenError(
                     f"circuit breaker open for source {source_name!r}",
                     source=source_name,
@@ -254,6 +261,14 @@ class ResilienceManager:
                 breaker.record_failure()
                 if collector is not None:
                     collector.source_failures += 1
+                if span is not None:
+                    span.event(
+                        "source_failure",
+                        offset(),
+                        source=source_name,
+                        attempt=attempt,
+                        error=str(exc),
+                    )
                 last_error = exc
                 if attempt + 1 < max(1, self.policy.max_attempts):
                     delay = self.backoff_delay(attempt)
@@ -261,6 +276,14 @@ class ResilienceManager:
                         collector.retries += 1
                         collector.backoff_seconds += delay
                         collector.charge_seconds(delay)
+                    if span is not None:
+                        span.event(
+                            "retry",
+                            offset(),
+                            source=source_name,
+                            attempt=attempt + 1,
+                            backoff_s=delay,
+                        )
                     if self._advance is not None:
                         self._advance(delay)
                 continue

@@ -109,41 +109,35 @@ class MetricsCollector:
                 setattr(self, spec.name, mine + theirs)
 
     def reset(self) -> None:
-        self.transfers.clear()
-        self.source_queries.clear()
-        self.simulated_seconds = 0.0
-        self.rows_shipped = 0
-        self.payload_bytes = 0
-        self.wire_bytes = 0
-        self.plan_cache_hits = 0
-        self.fetch_cache_hits = 0
-        self.fetch_cache_misses = 0
-        self.result_cache_hits = 0
-        self.cache_seconds_saved = 0.0
-        self.cache_bytes_saved = 0
-        self.retries = 0
-        self.backoff_seconds = 0.0
-        self.source_failures = 0
-        self.breaker_short_circuits = 0
-        self.failovers = 0
-        self.degraded_fetches = 0
-        self.stale_cache_hits = 0
+        """Zero every counter, field-generically (like `merge()`).
 
-    def summary(self) -> dict:
-        """Flat dict used by EXPLAIN output and the benchmark harness.
-
-        The base counters are always present; cache telemetry appears only
-        once any cache level has actually been exercised, keeping the
-        compact summary stable for cache-less runs.
+        Iterating `fields(self)` instead of a hand-maintained list means a
+        counter added to this dataclass is reset automatically rather than
+        silently surviving across runs.
         """
-        out = {
+        for spec in fields(self):
+            if spec.name == "network":
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, (list, Counter)):
+                value.clear()
+            elif isinstance(value, float):
+                setattr(self, spec.name, 0.0)
+            elif isinstance(value, int):
+                setattr(self, spec.name, 0)
+
+    def base_summary(self) -> dict:
+        """The always-present transfer/latency counters."""
+        return {
             "source_queries": self.total_source_queries(),
             "rows_shipped": self.rows_shipped,
             "payload_bytes": self.payload_bytes,
             "wire_bytes": self.wire_bytes,
             "simulated_seconds": round(self.simulated_seconds, 6),
         }
-        cache = {
+
+    def cache_summary(self) -> dict:
+        return {
             "plan_cache_hits": self.plan_cache_hits,
             "fetch_cache_hits": self.fetch_cache_hits,
             "fetch_cache_misses": self.fetch_cache_misses,
@@ -151,9 +145,9 @@ class MetricsCollector:
             "cache_seconds_saved": round(self.cache_seconds_saved, 6),
             "cache_bytes_saved": self.cache_bytes_saved,
         }
-        if any(cache.values()):
-            out.update(cache)
-        resilience = {
+
+    def resilience_summary(self) -> dict:
+        return {
             "retries": self.retries,
             "backoff_seconds": round(self.backoff_seconds, 6),
             "source_failures": self.source_failures,
@@ -162,6 +156,19 @@ class MetricsCollector:
             "degraded_fetches": self.degraded_fetches,
             "stale_cache_hits": self.stale_cache_hits,
         }
+
+    def summary(self) -> dict:
+        """Flat dict used by EXPLAIN output and the benchmark harness.
+
+        The base counters are always present; cache telemetry appears only
+        once any cache level has actually been exercised, keeping the
+        compact summary stable for cache-less runs.
+        """
+        out = self.base_summary()
+        cache = self.cache_summary()
+        if any(cache.values()):
+            out.update(cache)
+        resilience = self.resilience_summary()
         if any(resilience.values()):
             out.update(resilience)
         return out

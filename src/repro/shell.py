@@ -10,6 +10,9 @@ Commands:
     \lint <sql|path>    static analysis: a query, or a workspace directory
                         of .sql/.gav/.lav files (typed EIIxxx diagnostics)
     \metrics            toggle per-query execution accounting
+    \profile <sql>      execute and show EXPLAIN ANALYZE (per-node actuals)
+    \scoreboard         per-source latency/bytes/failure scoreboard
+    \trace              toggle tracing (on by default; off = no-op tracer)
     \quit               exit
 
 Anything else is executed as federated SQL against the generated
@@ -24,14 +27,18 @@ import sys
 from repro.bench import BenchConfig, build_enterprise
 from repro.common.errors import EIIError
 from repro.federation import FederatedEngine
+from repro.trace import QueryScoreboard, Tracer
 
 
 class Shell:
     def __init__(self, scale: int = 1, out=None):
         self.out = out if out is not None else sys.stdout
         fixture = build_enterprise(BenchConfig(scale=scale))
-        self.engine = FederatedEngine(fixture.catalog())
+        self.scoreboard = QueryScoreboard()
+        self.tracer = Tracer(scoreboard=self.scoreboard)
+        self.engine = FederatedEngine(fixture.catalog(), tracer=self.tracer)
         self.show_metrics = True
+        self.tracing = True
 
     def write(self, text: str = "") -> None:
         print(text, file=self.out)
@@ -86,9 +93,33 @@ class Shell:
             self.show_metrics = not self.show_metrics
             self.write(f"metrics {'on' if self.show_metrics else 'off'}")
             return True
+        if command == "\\profile":
+            if not argument.strip():
+                self.write("usage: \\profile <sql>")
+                return True
+            try:
+                result = self.engine.query(argument, analyze=True)
+            except EIIError as exc:
+                self.write(f"error: {exc}")
+                return True
+            self.write(result.explain_analyze())
+            return True
+        if command == "\\scoreboard":
+            if not self.tracing:
+                self.write(
+                    "tracing is off — \\trace to re-enable span collection"
+                )
+                return True
+            self.write(self.scoreboard.render())
+            return True
+        if command == "\\trace":
+            self.tracing = not self.tracing
+            self.engine.set_tracer(self.tracer if self.tracing else None)
+            self.write(f"tracing {'on' if self.tracing else 'off'}")
+            return True
         self.write(
             f"unknown command {command!r} "
-            "(try \\sources \\tables \\explain \\lint \\quit)"
+            "(try \\sources \\tables \\explain \\lint \\profile \\scoreboard \\quit)"
         )
         return True
 

@@ -1,0 +1,49 @@
+"""Span-based tracing and profiling for the federated query pipeline.
+
+The mediator is the one place every byte and every decision passes
+through; this package is where it observes them. A `Tracer` attached to a
+`FederatedEngine` records a deterministic tree of `Span`s per query —
+parse → plan → parallel per-source fetches → retries/backoff → assembly
+→ final transfer — on *simulated* time, with structured attributes
+(pushed-down SQL, rows/bytes, cache hit/miss, breaker state) and
+point-in-time `Event`s (``retry``, ``breaker.open``, ``cache.stale_hit``,
+``degraded``).
+
+On top of the raw trees:
+
+* `explain_analyze` — an EXPLAIN ANALYZE-style rendering of the executed
+  plan with per-node actuals and % of total simulated time;
+* `QueryScoreboard` — per-source latency histograms (p50/p95/max), byte
+  totals and failure/retry rates aggregated across many queries;
+* `Trace.to_json()` / `Trace.to_chrome()` — exporters, the latter in the
+  Chrome/Perfetto trace-event format so a real trace viewer can open a
+  federated query.
+
+The default is `NullTracer`: tracing off costs nothing and changes
+nothing.
+"""
+
+from repro.trace.analyze import analyzed_node_seconds, explain_analyze, instrument_physical
+from repro.trace.export import trace_to_chrome, trace_to_dict, trace_to_json
+from repro.trace.scoreboard import QueryScoreboard, SourceStats, percentile
+from repro.trace.span import Event, Span, Trace, makespan
+from repro.trace.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Event",
+    "NULL_TRACER",
+    "NullTracer",
+    "QueryScoreboard",
+    "SourceStats",
+    "Span",
+    "Trace",
+    "Tracer",
+    "analyzed_node_seconds",
+    "explain_analyze",
+    "instrument_physical",
+    "makespan",
+    "percentile",
+    "trace_to_chrome",
+    "trace_to_dict",
+    "trace_to_json",
+]

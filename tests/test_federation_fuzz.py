@@ -336,3 +336,63 @@ def test_chaos_with_replay_is_deterministic(sql, seed):
         )
 
     assert run() == run()
+
+
+# -- trace fuzzing: spans must account for the metrics, deterministically ------
+
+from repro.trace import Tracer  # noqa: E402
+
+
+@given(
+    sql=random_query(),
+    schedule=fault_schedule(),
+    seed=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_trace_accounts_for_metrics_and_replays_identically(sql, schedule, seed):
+    """For ANY query and fault schedule: the span tree's summed seconds and
+    bytes equal the MetricsCollector totals, and the serialized trace is
+    byte-identical across two replays of the same (query, schedule, seed)."""
+
+    def run():
+        import copy
+
+        clock = SimClock()
+        injector = FaultInjector(seed=seed, clock=clock)
+        catalog = FIXTURE.catalog(
+            include_credit=False, include_docs=False, wrap=injector.wrap
+        )
+        for name, rules in schedule.items():
+            # fault rules carry consumed-count state: replay needs fresh copies
+            injector.script(name, *copy.deepcopy(rules))
+        engine = FederatedEngine(
+            catalog,
+            clock=clock,
+            parallel_workers=1,  # shared backoff RNG: serial order for replay
+            resilience=ResiliencePolicy(max_attempts=3, seed=seed),
+            partial_results=True,
+            tracer=Tracer(),
+        )
+        try:
+            return engine.query(sql)
+        except EIIError:
+            return None
+
+    result = run()
+    if result is None:
+        return  # the schedule killed the query; nothing to account for
+    trace = result.trace
+    metrics = result.metrics
+    assert trace.work_seconds() == pytest.approx(
+        metrics.simulated_seconds, abs=1e-9
+    ), sql
+    assert trace.sum_attr("payload_bytes") == metrics.payload_bytes, sql
+    assert trace.sum_attr("wire_bytes") == metrics.wire_bytes, sql
+    assert trace.elapsed_seconds() == pytest.approx(
+        result.elapsed_seconds, abs=1e-9
+    ), sql
+
+    replay = run()
+    assert replay is not None, sql
+    assert replay.trace.to_json() == trace.to_json(), sql

@@ -71,6 +71,30 @@ class TestMetricsCollector:
             "simulated_seconds": 0.0,
         }
 
+    def test_reset_is_field_generic(self):
+        """Every counter field zeroes — including ones merge() knows about."""
+        from dataclasses import fields
+
+        metrics = MetricsCollector()
+        network = metrics.network
+        metrics.record_transfer("a", "b", 1, 100)
+        metrics.record_source_query("s")
+        # touch every numeric counter so a hand-copied reset list would miss one
+        for spec in fields(metrics):
+            value = getattr(metrics, spec.name)
+            if isinstance(value, float):
+                setattr(metrics, spec.name, value + 1.5)
+            elif isinstance(value, int):
+                setattr(metrics, spec.name, value + 3)
+        metrics.reset()
+        assert metrics.network is network  # the model survives, counters don't
+        for spec in fields(metrics):
+            value = getattr(metrics, spec.name)
+            if isinstance(value, (int, float)):
+                assert value == 0, spec.name
+            elif spec.name != "network":
+                assert not value, spec.name
+
     def test_summary_keys(self):
         metrics = MetricsCollector()
         metrics.record_transfer("a", "b", 5, 100, WireFormat.XML, "result ship")

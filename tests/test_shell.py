@@ -20,6 +20,9 @@ def shell_output():
         "SELECT nope FROM customers",
         "\\metrics",
         "SELECT COUNT(*) AS n FROM orders",
+        "\\profile SELECT c.city, SUM(o.total) AS revenue FROM customers c "
+        "JOIN orders o ON c.id = o.cust_id GROUP BY c.city",
+        "\\scoreboard",
         "\\bogus",
         "\\quit",
         "SELECT should_never_run FROM customers",
@@ -62,6 +65,42 @@ class TestShell:
     def test_unknown_command_hint(self, shell_output):
         text, _ = shell_output
         assert "unknown command" in text
+
+    def test_profile_renders_explain_analyze(self, shell_output):
+        text, _ = shell_output
+        assert "EXPLAIN ANALYZE (simulated time)" in text
+        assert "of work)" in text
+
+    def test_scoreboard_renders_sources(self, shell_output):
+        text, shell = shell_output
+        assert "p95_s" in text
+        assert "simulated" in text and "remote work" in text
+        # every executed query (including the profiled one) was recorded
+        assert shell.scoreboard.queries >= 3
+
+    def test_profile_usage_lines(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("\\profile")
+        assert "usage: \\profile" in out.getvalue()
+
+    def test_trace_toggle_and_scoreboard_off_hint(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("\\trace")
+        assert "tracing off" in out.getvalue()
+        assert shell.engine.tracer.enabled is False
+        # queries run untraced: no new traces recorded
+        shell.handle("SELECT COUNT(*) AS n FROM orders")
+        assert shell.scoreboard.queries == 0
+        shell.handle("\\scoreboard")
+        assert "tracing is off" in out.getvalue()
+        # \profile still works while tracing is off (ephemeral tracer)
+        shell.handle("\\profile SELECT COUNT(*) AS n FROM orders")
+        assert "EXPLAIN ANALYZE" in out.getvalue()
+        shell.handle("\\trace")
+        assert "tracing on" in out.getvalue()
+        assert shell.engine.tracer is shell.tracer
 
     def test_quit_stops_session(self, shell_output):
         text, _ = shell_output
