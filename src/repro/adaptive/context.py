@@ -1,0 +1,135 @@
+"""Policy knobs and the per-engine adaptive context.
+
+`AdaptivePolicy` is the configuration surface (each lever independently
+toggleable, so benchmarks can ablate: static vs. feedback vs.
+feedback+LPT); `AdaptiveContext` bundles the live state — the feedback
+store, the latency predictor — and is what the engine threads through
+planning, prefetch and re-optimization. Everything here is engine-
+independent, so one context can be shared by several engines over the
+same catalog (they then share calibrations, deliberately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adaptive.feedback import FeedbackStore
+from repro.adaptive.scheduler import (
+    LatencyPredictor,
+    lpt_order,
+    static_fetch_seconds,
+)
+from repro.adaptive.signature import bind_signature, fetch_signature
+
+
+@dataclass
+class AdaptivePolicy:
+    """Which adaptive levers are on, and their thresholds."""
+
+    #: record actuals and plan with calibrated estimates
+    feedback: bool = True
+    #: re-optimize the assembly tree when actuals drift past the threshold
+    replan: bool = True
+    #: worst actual/estimated row ratio that triggers mid-query replanning
+    replan_threshold: float = 4.0
+    #: submit prefetches longest-predicted-first
+    lpt: bool = True
+    #: feedback store LRU bound
+    max_entries: int = 512
+    #: EWMA weight of the newest observation
+    smoothing: float = 0.5
+    #: smoothed-drift ratio that advances the feedback generation
+    drift_ratio: float = 2.0
+
+
+class AdaptiveContext:
+    """Live adaptive state threaded through one (or more) engines."""
+
+    def __init__(
+        self,
+        policy: Optional[AdaptivePolicy] = None,
+        scoreboard=None,
+    ):
+        self.policy = policy or AdaptivePolicy()
+        self.store = FeedbackStore(
+            max_entries=self.policy.max_entries,
+            smoothing=self.policy.smoothing,
+            drift_ratio=self.policy.drift_ratio,
+        )
+        self.predictor = LatencyPredictor(scoreboard=scoreboard)
+
+    @property
+    def generation(self) -> int:
+        return self.store.generation
+
+    def attach(self, broker) -> None:
+        """Invalidate calibrations on the broker's table-change events."""
+        self.store.attach(broker)
+
+    # -- observation (called from fetch workers) --------------------------------------
+
+    def observe_fetch(
+        self, node, rows: int, payload_bytes: float, seconds: float, from_cache: bool
+    ) -> None:
+        if not self.policy.feedback:
+            return
+        self.store.observe(
+            fetch_signature(node.source.name, node.stmt),
+            rows,
+            payload_bytes,
+            tags=node.depends_on,
+        )
+        if not from_cache and seconds > 0:
+            self.predictor.observe(node.source.name, seconds, payload_bytes)
+
+    def observe_bind_chunk(
+        self,
+        node,
+        keys: int,
+        rows: int,
+        payload_bytes: float,
+        seconds: float,
+        from_cache: bool,
+    ) -> None:
+        if not self.policy.feedback:
+            return
+        self.store.observe(
+            bind_signature(node.source.name, node.template, node.right_key),
+            rows,
+            payload_bytes,
+            tags=node.depends_on,
+            keys=keys,
+        )
+        if not from_cache and seconds > 0:
+            self.predictor.observe(node.source.name, seconds, payload_bytes)
+
+    # -- prediction / scheduling -------------------------------------------------------
+
+    def predict_fetch_seconds(self, node, network, site: str) -> float:
+        rows: Optional[float] = None
+        if self.policy.feedback:
+            rows = self.store.calibrated_rows(
+                fetch_signature(node.source.name, node.stmt)
+            )
+        if rows is None:
+            rows = max(float(node.est_rows), 0.0)
+        payload = rows * node.schema.average_row_width()
+        learned = self.predictor.predict(node.source.name, payload)
+        if learned is not None:
+            return learned
+        return static_fetch_seconds(node, rows, network, site)
+
+    def lpt_order(self, fetches: list, network, site: str) -> list:
+        durations = [
+            self.predict_fetch_seconds(node, network, site) for node in fetches
+        ]
+        return lpt_order(fetches, durations)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def clear(self) -> int:
+        return self.store.clear()
+
+    def render(self) -> str:
+        return self.store.render()

@@ -9,6 +9,7 @@ cost unit is "one row touched"; operators add their classical multipliers.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -87,10 +88,44 @@ class CostModel:
 
     def __init__(self, stats_provider=None):
         self.stats_provider = stats_provider
+        #: id(plan) -> (plan, PlanCost) while inside a `memo_scope`; holding
+        #: the plan itself keeps it alive, so a recycled id cannot alias a
+        #: discarded candidate's entry
+        self._memo: Optional[dict] = None
 
     # -- public ------------------------------------------------------------------
 
     def estimate(self, plan: LogicalPlan) -> PlanCost:
+        memo = self._memo
+        if memo is not None:
+            cached = memo.get(id(plan))
+            if cached is not None and cached[0] is plan:
+                return cached[1]
+        result = self._estimate_node(plan)
+        if memo is not None:
+            memo[id(plan)] = (plan, result)
+        return result
+
+    @contextmanager
+    def memo_scope(self):
+        """Memoize node estimates for one optimization pass.
+
+        Join-order search estimates shared subtrees once per *candidate*
+        containing them — exponentially often on larger join sets. Scoping
+        the memo to a pass (rather than caching forever) keeps estimates
+        correct across statistics changes; re-entrant, the outermost scope
+        owns the table.
+        """
+        if self._memo is not None:
+            yield self
+            return
+        self._memo = {}
+        try:
+            yield self
+        finally:
+            self._memo = None
+
+    def _estimate_node(self, plan: LogicalPlan) -> PlanCost:
         if isinstance(plan, LogicalScan):
             return self._scan(plan)
         if isinstance(plan, LogicalFilter):
@@ -122,7 +157,7 @@ class CostModel:
             )
         if isinstance(plan, LogicalDistinct):
             child = self.estimate(plan.child)
-            rows = max(child.rows * 0.5, 1.0)
+            rows = self._distinct_rows(plan, child)
             return PlanCost(rows, child.cost + child.rows, child.column_stats)
         if isinstance(plan, LogicalAlias):
             child = self.estimate(plan.child)
@@ -266,6 +301,28 @@ class CostModel:
                 if stat is not None:
                     out_stats[("", name.lower())] = stat
         return PlanCost(rows, cost, out_stats)
+
+    def _distinct_rows(self, plan: LogicalDistinct, child: PlanCost) -> float:
+        """DISTINCT output: product of the output columns' NDVs, capped.
+
+        The same independence model `_aggregate` uses for GROUP BY — a
+        DISTINCT is a group-by over its whole select list. Only when *no*
+        output column has statistics does the old 0.5 heuristic apply.
+        """
+        ceiling = max(child.rows, 1.0)
+        groups = 1.0
+        have_stats = False
+        for column in plan.schema:
+            stat = child.stat_for(ColumnRef(column.name, column.qualifier))
+            if stat is None:
+                continue
+            have_stats = True
+            groups *= max(float(stat.distinct), 1.0)
+            if groups >= ceiling:
+                break
+        if not have_stats:
+            return max(child.rows * 0.5, 1.0)
+        return max(min(groups, ceiling), 1.0)
 
     # -- helpers --------------------------------------------------------------------
 

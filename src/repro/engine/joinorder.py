@@ -26,21 +26,48 @@ DP_LIMIT = 8
 CROSS_JOIN_PENALTY = 1e6
 
 
-def reorder_joins(plan: LogicalPlan, cost_model: CostModel) -> LogicalPlan:
-    """Recursively reorder every maximal inner-join region of the plan."""
+def reorder_joins(
+    plan: LogicalPlan, cost_model: CostModel, dp_limit: int = DP_LIMIT
+) -> LogicalPlan:
+    """Recursively reorder every maximal inner-join region of the plan.
+
+    `dp_limit` is the largest input count still searched exhaustively;
+    larger regions fall back to the greedy heuristic. The whole pass runs
+    under one estimate memo scope — the search estimates shared subtrees
+    once instead of once per candidate containing them.
+    """
+    with cost_model.memo_scope():
+        return _reorder(plan, cost_model, dp_limit)
+
+
+def _reorder(plan: LogicalPlan, cost_model: CostModel, dp_limit: int) -> LogicalPlan:
     if isinstance(plan, LogicalJoin) and plan.kind == "INNER":
         inputs, predicates = _flatten(plan)
-        inputs = [reorder_joins(node, cost_model) for node in inputs]
+        inputs = [_reorder(node, cost_model, dp_limit) for node in inputs]
         if len(inputs) <= 1:
             return _wrap(inputs[0], predicates)
-        ordered = _search(inputs, predicates, cost_model)
+        ordered = _search(inputs, predicates, cost_model, dp_limit)
         return ordered
-    children = [reorder_joins(child, cost_model) for child in plan.children]
+    children = [_reorder(child, cost_model, dp_limit) for child in plan.children]
     return plan.with_children(children) if children else plan
 
 
+def _is_inner_join_region(node: LogicalPlan) -> bool:
+    while isinstance(node, LogicalFilter):
+        node = node.child
+    return isinstance(node, LogicalJoin) and node.kind == "INNER"
+
+
 def _flatten(plan: LogicalPlan):
-    """Flatten a maximal INNER-join tree into leaf inputs and predicates."""
+    """Flatten a maximal INNER-join tree into leaf inputs and predicates.
+
+    Only filters sitting *above* further inner joins are hoisted into the
+    shared predicate pool. A filter directly on a leaf (where predicate
+    pushdown put it) stays attached to that input, so the search costs the
+    *filtered* cardinality — hoisting it would make every single-table
+    selection invisible to join ordering, since leaf states never apply
+    pool predicates.
+    """
     inputs: list[LogicalPlan] = []
     predicates: list[Expr] = []
 
@@ -50,7 +77,7 @@ def _flatten(plan: LogicalPlan):
             recurse(node.right)
             if node.condition is not None:
                 predicates.extend(split_conjuncts(node.condition))
-        elif isinstance(node, LogicalFilter):
+        elif isinstance(node, LogicalFilter) and _is_inner_join_region(node.child):
             predicates.extend(split_conjuncts(node.predicate))
             recurse(node.child)
         else:
@@ -88,10 +115,21 @@ class _JoinState:
         self.cost = cost
 
 
-def _search(inputs, predicates, cost_model: CostModel) -> LogicalPlan:
-    if len(inputs) <= DP_LIMIT:
+def _search(inputs, predicates, cost_model: CostModel, dp_limit: int) -> LogicalPlan:
+    if len(inputs) <= max(dp_limit, 1):
         return _dp(inputs, predicates, cost_model)
     return _greedy(inputs, predicates, cost_model)
+
+
+def _plan_key(plan: LogicalPlan) -> str:
+    """Deterministic tie-break key: the plan's label path.
+
+    Equal-cost candidates (symmetric sides, duplicated inputs) would
+    otherwise be decided by enumeration order — stable within one process
+    but fragile under refactoring; the lexicographically smallest rendering
+    wins instead.
+    """
+    return "|".join(node.label() for node in plan.walk())
 
 
 def _join_candidates(left: _JoinState, right: _JoinState, predicates, used, cost_model):
@@ -145,7 +183,11 @@ def _dp(inputs, predicates, cost_model: CostModel) -> LogicalPlan:
                         a_state, b_state, predicates, used, cost_model
                     )
                     total = cost.cost
-                    if entry is None or total < entry[0]:
+                    if (
+                        entry is None
+                        or total < entry[0]
+                        or (total == entry[0] and _plan_key(plan) < _plan_key(entry[1]))
+                    ):
                         entry = (total, plan, frozenset(used | consumed), cost)
             if entry is not None:
                 best[mask] = entry
@@ -170,7 +212,9 @@ def _greedy(inputs, predicates, cost_model: CostModel) -> LogicalPlan:
                 plan, cost, consumed = _join_candidates(
                     states[i], states[j], predicates, used, cost_model
                 )
-                key = (cost.rows, cost.cost)
+                # (i, j) makes equal-cost choices explicit: first pair in
+                # input order wins, deterministically.
+                key = (cost.rows, cost.cost, i, j)
                 if best_pair is None or key < best_pair[0]:
                     best_pair = (key, i, j, plan, cost, consumed)
         _, i, j, plan, cost, consumed = best_pair

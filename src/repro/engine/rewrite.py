@@ -422,14 +422,21 @@ def _keep_columns(scan: LogicalScan, required: set):
 # ---------------------------------------------------------------------------
 
 
-def optimize_logical(plan: LogicalPlan, cost_model=None) -> LogicalPlan:
-    """Full logical optimization pipeline."""
-    from repro.engine.joinorder import reorder_joins
+def optimize_logical(
+    plan: LogicalPlan, cost_model=None, join_dp_limit=None
+) -> LogicalPlan:
+    """Full logical optimization pipeline.
+
+    `join_dp_limit` caps exhaustive join-order search (None keeps the
+    module default, `joinorder.DP_LIMIT`).
+    """
+    from repro.engine.joinorder import DP_LIMIT, reorder_joins
 
     plan = fold_plan_constants(plan)
     plan = push_filters(plan)
     if cost_model is not None:
-        plan = reorder_joins(plan, cost_model)
+        limit = DP_LIMIT if join_dp_limit is None else join_dp_limit
+        plan = reorder_joins(plan, cost_model, dp_limit=limit)
         plan = push_filters(plan)  # reordering can re-expose pushdown chances
     plan = prune_columns(plan)
     return plan

@@ -90,6 +90,9 @@ class FederatedResult:
     #: the executed physical operator tree, retained (with per-operator
     #: actual row counts) only when tracing, for EXPLAIN ANALYZE
     physical: Optional[object] = None
+    #: mid-query re-optimization report (`repro.adaptive.ReplanReport`);
+    #: None when the plan survived its own actuals
+    replan: Optional[object] = None
 
     @property
     def is_partial(self) -> bool:
@@ -97,6 +100,9 @@ class FederatedResult:
 
     def explain(self) -> str:
         lines = [self.plan.pretty()]
+        if self.replan is not None:
+            lines.append(self.replan.describe())
+            lines.append(self.replan.pretty())
         lines.append(_counter_line("metrics", self.metrics.base_summary()))
         cache = self.metrics.cache_summary()
         if any(cache.values()):
@@ -104,6 +110,9 @@ class FederatedResult:
         resilience = self.metrics.resilience_summary()
         if any(resilience.values()):
             lines.append(_counter_line("resilience", resilience))
+        adaptive = self.metrics.adaptive_summary()
+        if any(adaptive.values()):
+            lines.append(_counter_line("adaptive", adaptive))
         lines.append(f"simulated elapsed: {self.elapsed_seconds:.4f}s")
         if self.breaker_states:
             lines.append(
@@ -315,6 +324,16 @@ class _FetchRuntime:
                     self.report.note_answered(node.source.name, node.est_rows)
                 result = Relation(node.schema, entry.value.rows)
                 self.local[id(node)] = result
+                adaptive = self.engine.adaptive
+                if adaptive is not None:
+                    # A cache hit is still a true cardinality observation.
+                    adaptive.observe_fetch(
+                        node,
+                        rows=len(result),
+                        payload_bytes=entry.size_bytes,
+                        seconds=entry.cost_seconds,
+                        from_cache=True,
+                    )
                 return result
             collector.fetch_cache_misses += 1
             if span is not None:
@@ -341,6 +360,15 @@ class _FetchRuntime:
         # schema of the subtree the fetch replaced.
         result = Relation(node.schema, raw.rows)
         self.local[id(node)] = result
+        adaptive = self.engine.adaptive
+        if adaptive is not None:
+            adaptive.observe_fetch(
+                node,
+                rows=len(result),
+                payload_bytes=raw.size_bytes(),
+                seconds=cost_seconds,
+                from_cache=False,
+            )
         return result
 
     def bind_fetch(self, node: LogicalBindJoin, keys: list) -> Relation:
@@ -389,6 +417,16 @@ class _FetchRuntime:
                             )
                         self._note_stale_if_down(node, self.metrics, span)
                         rows.extend(entry.value.rows)
+                        adaptive = self.engine.adaptive
+                        if adaptive is not None:
+                            adaptive.observe_bind_chunk(
+                                node,
+                                keys=len(chunk),
+                                rows=len(entry.value.rows),
+                                payload_bytes=entry.size_bytes,
+                                seconds=entry.cost_seconds,
+                                from_cache=True,
+                            )
                         continue
                     self.metrics.fetch_cache_misses += 1
                     if span is not None:
@@ -407,6 +445,16 @@ class _FetchRuntime:
                         key, raw, tags=node.depends_on, cost_seconds=cost_seconds
                     )
                 rows.extend(raw.rows)
+                adaptive = self.engine.adaptive
+                if adaptive is not None:
+                    adaptive.observe_bind_chunk(
+                        node,
+                        keys=len(chunk),
+                        rows=len(raw),
+                        payload_bytes=raw.size_bytes(),
+                        seconds=cost_seconds,
+                        from_cache=False,
+                    )
             finally:
                 if span is not None:
                     span.self_seconds = self.metrics.simulated_seconds - base_seconds
@@ -439,6 +487,7 @@ class FederatedEngine:
         partial_results: bool = False,
         validate: bool = False,
         tracer=None,
+        adaptive=None,
     ):
         self.catalog = catalog
         self.network = network or NetworkModel()
@@ -449,6 +498,17 @@ class FederatedEngine:
             semijoin=semijoin,
             choose_assembly_site=choose_assembly_site,
         )
+        #: adaptive execution (cardinality feedback, mid-query replanning,
+        #: LPT prefetch scheduling); None keeps the static engine — every
+        #: adaptive code path is gated on this, so the default is
+        #: byte-identical to the pre-adaptive behavior
+        self.adaptive = self._resolve_adaptive(adaptive)
+        if self.adaptive is not None and self.adaptive.policy.feedback:
+            from repro.adaptive import FeedbackCostModel
+
+            self.planner.cost_model = FeedbackCostModel(
+                self.adaptive.store, catalog
+            )
         #: reject queries predicted to run longer than this (None = admit all)
         self.admission_budget_s = admission_budget_s
         #: legacy knob: enables the whole-result level with this TTL
@@ -486,6 +546,29 @@ class FederatedEngine:
         self._local = LocalEngine(self._scratch, optimize=False)
         self.tracer = NULL_TRACER
         self.set_tracer(tracer)
+
+    @staticmethod
+    def _resolve_adaptive(adaptive):
+        """Accept an `AdaptiveContext`, an `AdaptivePolicy`, True, or None.
+
+        Imported lazily (like `repro.analysis`): the adaptive package
+        imports federation planner/nodes at module level, so a top-level
+        import here would be circular.
+        """
+        if adaptive is None or adaptive is False:
+            return None
+        from repro.adaptive import AdaptiveContext, AdaptivePolicy
+
+        if isinstance(adaptive, AdaptiveContext):
+            return adaptive
+        if isinstance(adaptive, AdaptivePolicy):
+            return AdaptiveContext(adaptive)
+        if adaptive is True:
+            return AdaptiveContext()
+        raise PlanError(
+            f"adaptive must be an AdaptiveContext, AdaptivePolicy or bool, "
+            f"got {type(adaptive).__name__}"
+        )
 
     def set_tracer(self, tracer) -> None:
         """Attach a `Tracer` (or None for the zero-cost no-op default)."""
@@ -539,12 +622,23 @@ class FederatedEngine:
         if trace is not None:
             trace.root.child("parse", category="parse", sql=canonical)
         plan = self.cache.get_plan(canonical)
+        if (
+            plan is not None
+            and self.adaptive is not None
+            and self.adaptive.policy.feedback
+            and plan.feedback_generation != self.adaptive.generation
+        ):
+            # Calibrations moved since this plan was built: replan so the
+            # cache never serves an ordering the feedback already disowned.
+            plan = None
         plan_was_cached = plan is not None
         plan_span = None
         if trace is not None:
             plan_span = trace.root.child("plan", category="plan", cached=plan_was_cached)
         if plan is None:
             plan = self.planner.plan(statement)
+            if self.adaptive is not None and self.adaptive.policy.feedback:
+                plan.feedback_generation = self.adaptive.generation
             self.cache.put_plan(canonical, plan)
         if plan_span is not None:
             plan_span.set(
@@ -586,6 +680,9 @@ class FederatedEngine:
     def attach_invalidation(self, broker) -> None:
         """Evict dependent cache entries on `table.<name>.changed` events."""
         self.cache.attach(broker)
+        if self.adaptive is not None:
+            # Calibrations describe table contents, so they expire with them.
+            self.adaptive.attach(broker)
 
     def predict_elapsed(self, plan: FederatedPlan) -> float:
         """Pre-execution prediction of simulated elapsed seconds.
@@ -608,7 +705,7 @@ class FederatedEngine:
             )
             fetch_predictions.append(exec_s + transfer_s)
         elapsed = parallel_makespan(fetch_predictions, self.parallel_workers)
-        elapsed += self._assembly_cost(plan)
+        elapsed += self._assembly_cost(plan.root)
         elapsed += self.network.transfer_seconds(
             plan.assembly_site, "client", plan.est_result_bytes
         )
@@ -716,6 +813,33 @@ class FederatedEngine:
         fetch_seconds = self._prefetch(plan.fetches, runtime, metrics, fetch_span)
         fetch_elapsed = parallel_makespan(fetch_seconds, self.parallel_workers)
 
+        # Mid-query re-optimization: the prefetched relations carry actual
+        # cardinalities; when they contradict the estimates badly enough,
+        # rebuild the assembly tree above the (identity-preserved,
+        # already-materialized) fetches before lowering it.
+        root = plan.root
+        replan_report = None
+        if self.adaptive is not None and self.adaptive.policy.replan:
+            from repro.adaptive import maybe_replan
+
+            replan_report = maybe_replan(
+                plan, runtime, self.planner, self.adaptive.policy.replan_threshold
+            )
+            if replan_report is not None:
+                root = replan_report.root
+                for node in root.walk():
+                    if isinstance(node, (LogicalFetch, LogicalBindJoin)):
+                        node.runtime = runtime
+                metrics.replans += 1
+                if execute_span is not None:
+                    execute_span.event(
+                        "plan.reoptimized",
+                        execute_span.offset_from(metrics),
+                        worst_ratio=round(replan_report.worst_ratio, 3),
+                        threshold=replan_report.threshold,
+                        converted_bind_joins=replan_report.converted_bind_joins,
+                    )
+
         after_fetch_work = metrics.simulated_seconds
         assembly_span = None
         if execute_span is not None:
@@ -723,14 +847,14 @@ class FederatedEngine:
                 "assembly", category="assembly", site=plan.assembly_site
             )
             runtime.span = assembly_span  # bind-join chunk spans attach here
-        physical = self._local.lower(plan.root)
+        physical = self._local.lower(root)
         if execute_span is not None:
             instrument_physical(physical)
         relation = physical.relation()
         # Bind joins and any late fetches executed serially during assembly.
         serial_tail = metrics.simulated_seconds - after_fetch_work
 
-        assembly_seconds = self._assembly_cost(plan)
+        assembly_seconds = self._assembly_cost(root)
         metrics.charge_seconds(assembly_seconds)
 
         wire_before = metrics.wire_bytes
@@ -753,6 +877,7 @@ class FederatedEngine:
             transfer_span.self_seconds = final_transfer
         elapsed = fetch_elapsed + serial_tail + assembly_seconds + final_transfer
         result = FederatedResult(relation, plan, metrics, fetch_seconds, elapsed)
+        result.replan = replan_report
         result.completeness = runtime.report
         if self.resilience is not None:
             result.breaker_states = self.resilience.breaker_states()
@@ -777,6 +902,21 @@ class FederatedEngine:
         durations: list[float] = []
         if not fetches:
             return durations
+
+        if (
+            self.adaptive is not None
+            and self.adaptive.policy.lpt
+            and len(fetches) > 1
+        ):
+            # Longest-predicted-first submission: list scheduling charges
+            # each slot in submission order, so fronting the predicted
+            # stragglers lowers the makespan on skewed fetch sets. The
+            # reorder happens before span creation — submission order (and
+            # therefore the trace) stays a pure function of plan + store.
+            reordered = self.adaptive.lpt_order(fetches, self.network, runtime.site)
+            if reordered != fetches:
+                metrics.lpt_reorders += 1
+            fetches = reordered
 
         # Spans are created on this thread in submission order (so the trace
         # is deterministic regardless of completion order); each worker only
@@ -848,8 +988,8 @@ class FederatedEngine:
             raise first_error
         return durations
 
-    def _assembly_cost(self, plan: FederatedPlan) -> float:
-        estimate = self.planner.cost_model.estimate(plan.root)
+    def _assembly_cost(self, root: LogicalPlan) -> float:
+        estimate = self.planner.cost_model.estimate(root)
         return estimate.cost * HUB_TIME_PER_COST_UNIT_S
 
 

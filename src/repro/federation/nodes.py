@@ -117,6 +117,7 @@ class LogicalBindJoin(LogicalPlan):
         est_rows: float = 1000.0,
         depends_on: frozenset = frozenset(),
         tables: frozenset = frozenset(),
+        required: bool = False,
     ):
         if kind not in ("INNER", "LEFT"):
             raise PlanError(f"bind join does not support kind {kind!r}")
@@ -134,6 +135,10 @@ class LogicalBindJoin(LogicalPlan):
         self.depends_on = depends_on
         #: lower-cased global names of the probed tables (replica failover)
         self.tables = tables
+        #: True when key-driven lookup is the *only* access path (binding
+        #: patterns) — mid-query re-optimization must never convert these
+        #: to plain fetches
+        self.required = required
         self.schema = left.schema.concat(fetch_schema)
         self.runtime = None
         #: see LogicalFetch.degradable; a LEFT bind join's probe is always
@@ -159,6 +164,7 @@ class LogicalBindJoin(LogicalPlan):
             self.est_rows,
             self.depends_on,
             self.tables,
+            self.required,
         )
         node.runtime = self.runtime
         node.degradable = self.degradable

@@ -67,6 +67,10 @@ class FederatedPlan:
     assembly_site: str
     est_result_rows: float = 0.0
     est_result_bytes: int = 0
+    #: feedback-store generation this plan was built at (None = planned
+    #: without feedback); the engine treats cached plans from an older
+    #: generation as misses so calibration always reaches the plan cache
+    feedback_generation: Optional[int] = None
 
     def pretty(self) -> str:
         lines = [f"assembly site: {self.assembly_site}"]
@@ -123,6 +127,7 @@ class FederatedPlanner:
         max_bind_keys: int = 2000,
         hub_site: str = "hub",
         choose_assembly_site: bool = True,
+        join_dp_limit: Optional[int] = None,
     ):
         if semijoin not in ("auto", "force", "off"):
             raise PlanError(f"unknown semijoin mode {semijoin!r}")
@@ -133,17 +138,26 @@ class FederatedPlanner:
         self.max_bind_keys = max_bind_keys
         self.hub_site = hub_site
         self.choose_assembly_site = choose_assembly_site
+        #: largest join region searched exhaustively (None = joinorder's
+        #: DP_LIMIT); lower it to force the greedy path on smaller queries
+        self.join_dp_limit = join_dp_limit
         self.cost_model = CostModel(catalog)
 
     # -- public ----------------------------------------------------------------
 
     def plan(self, query: Union[str, Select, LogicalPlan]) -> FederatedPlan:
         logical = self.logical_plan(query)
-        root = self._cut(logical)
-        self._check_access_paths(root)
-        fetches = [node for node in root.walk() if isinstance(node, LogicalFetch)]
-        bind_joins = [node for node in root.walk() if isinstance(node, LogicalBindJoin)]
-        est = self.cost_model.estimate(root)
+        # One memo scope for the whole cutting pass: subtree estimates are
+        # re-requested by pushability analysis, bind-join costing and the
+        # final plan estimate.
+        with self.cost_model.memo_scope():
+            root = self._cut(logical)
+            self._check_access_paths(root)
+            fetches = [node for node in root.walk() if isinstance(node, LogicalFetch)]
+            bind_joins = [
+                node for node in root.walk() if isinstance(node, LogicalBindJoin)
+            ]
+            est = self.cost_model.estimate(root)
         est_bytes = int(est.rows * root.schema.average_row_width())
         site = self._choose_site(fetches, est_bytes)
         return FederatedPlan(root, fetches, bind_joins, site, est.rows, est_bytes)
@@ -158,7 +172,9 @@ class FederatedPlanner:
             query = statement
         if isinstance(query, (Select, UnionSelect)):
             query = bind_select(query, self.catalog)
-        return optimize_logical(query, self.cost_model)
+        return optimize_logical(
+            query, self.cost_model, join_dp_limit=self.join_dp_limit
+        )
 
     # -- pushability analysis -----------------------------------------------------
 
@@ -452,6 +468,7 @@ class FederatedPlanner:
             est_rows=est,
             depends_on=depends_on,
             tables=tables,
+            required=required,
         )
 
     # -- validation -----------------------------------------------------------------

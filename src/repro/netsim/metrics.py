@@ -54,6 +54,9 @@ class MetricsCollector:
     failovers: int = 0
     degraded_fetches: int = 0
     stale_cache_hits: int = 0
+    # adaptive-execution telemetry (populated by the federated engine)
+    replans: int = 0
+    lpt_reorders: int = 0
 
     def record_transfer(
         self,
@@ -157,6 +160,12 @@ class MetricsCollector:
             "stale_cache_hits": self.stale_cache_hits,
         }
 
+    def adaptive_summary(self) -> dict:
+        return {
+            "replans": self.replans,
+            "lpt_reorders": self.lpt_reorders,
+        }
+
     def summary(self) -> dict:
         """Flat dict used by EXPLAIN output and the benchmark harness.
 
@@ -171,4 +180,7 @@ class MetricsCollector:
         resilience = self.resilience_summary()
         if any(resilience.values()):
             out.update(resilience)
+        adaptive = self.adaptive_summary()
+        if any(adaptive.values()):
+            out.update(adaptive)
         return out

@@ -12,6 +12,8 @@ Commands:
     \metrics            toggle per-query execution accounting
     \profile <sql>      execute and show EXPLAIN ANALYZE (per-node actuals)
     \scoreboard         per-source latency/bytes/failure scoreboard
+    \feedback [clear]   inspect (or drop) the adaptive cardinality
+                        calibrations learned from executed queries
     \trace              toggle tracing (on by default; off = no-op tracer)
     \quit               exit
 
@@ -24,6 +26,7 @@ from __future__ import annotations
 
 import sys
 
+from repro.adaptive import AdaptiveContext
 from repro.bench import BenchConfig, build_enterprise
 from repro.common.errors import EIIError
 from repro.federation import FederatedEngine
@@ -36,7 +39,10 @@ class Shell:
         fixture = build_enterprise(BenchConfig(scale=scale))
         self.scoreboard = QueryScoreboard()
         self.tracer = Tracer(scoreboard=self.scoreboard)
-        self.engine = FederatedEngine(fixture.catalog(), tracer=self.tracer)
+        self.adaptive = AdaptiveContext(scoreboard=self.scoreboard)
+        self.engine = FederatedEngine(
+            fixture.catalog(), tracer=self.tracer, adaptive=self.adaptive
+        )
         self.show_metrics = True
         self.tracing = True
 
@@ -112,6 +118,13 @@ class Shell:
                 return True
             self.write(self.scoreboard.render())
             return True
+        if command == "\\feedback":
+            if argument.strip().lower() == "clear":
+                dropped = self.adaptive.clear()
+                self.write(f"feedback: dropped {dropped} calibration(s)")
+            else:
+                self.write(self.adaptive.render())
+            return True
         if command == "\\trace":
             self.tracing = not self.tracing
             self.engine.set_tracer(self.tracer if self.tracing else None)
@@ -119,7 +132,8 @@ class Shell:
             return True
         self.write(
             f"unknown command {command!r} "
-            "(try \\sources \\tables \\explain \\lint \\profile \\scoreboard \\quit)"
+            "(try \\sources \\tables \\explain \\lint \\profile \\scoreboard "
+            "\\feedback \\quit)"
         )
         return True
 

@@ -396,3 +396,68 @@ def test_trace_accounts_for_metrics_and_replays_identically(sql, schedule, seed)
     replay = run()
     assert replay is not None, sql
     assert replay.trace.to_json() == trace.to_json(), sql
+
+
+# -- adaptive fuzzing: feedback must never change answers ----------------------
+#
+# Adaptive execution (cardinality feedback, mid-query re-optimization, LPT
+# prefetch scheduling) is a pure performance lever. Fuzzed contract: for ANY
+# query and planner configuration it returns exactly the static rows — on
+# the cold run AND on the calibrated re-run — and its traces replay
+# byte-identically under fault schedules.
+
+
+@given(sql=random_query(), config=planner_config())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_adaptive_execution_matches_static(sql, config):
+    config = dict(config, parallel_workers=1)
+    catalog = FIXTURE.catalog(include_credit=False, include_docs=False)
+    adaptive = FederatedEngine(catalog, adaptive=True, **config)
+    oracle = BASELINE.query(sql).sorted().rows
+    for _ in range(2):  # the second run plans from calibrations
+        assert adaptive.query(sql).relation.sorted().rows == oracle, sql
+
+
+@given(sql=random_query(), schedule=fault_schedule(), seed=st.integers(0, 7))
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_adaptive_trace_replays_identically(sql, schedule, seed):
+    """LPT reorders before span creation and one worker observes feedback in
+    a deterministic order, so two adaptive replays of the same (query,
+    schedule, seed) serialize to byte-identical traces."""
+
+    def run():
+        import copy
+
+        clock = SimClock()
+        injector = FaultInjector(seed=seed, clock=clock)
+        catalog = FIXTURE.catalog(
+            include_credit=False, include_docs=False, wrap=injector.wrap
+        )
+        for name, rules in schedule.items():
+            injector.script(name, *copy.deepcopy(rules))
+        engine = FederatedEngine(
+            catalog,
+            clock=clock,
+            parallel_workers=1,
+            resilience=ResiliencePolicy(max_attempts=3, seed=seed),
+            partial_results=True,
+            tracer=Tracer(),
+            adaptive=True,
+        )
+        out = []
+        try:
+            for _ in range(2):  # second run exercises calibrated planning
+                out.append(engine.query(sql).trace.to_json())
+        except EIIError:
+            out.append("error")
+        return out
+
+    assert run() == run()
