@@ -85,3 +85,22 @@ def queries(names=None) -> dict:
     if names is None:
         return dict(QUERIES)
     return {name: QUERIES[name] for name in names}
+
+
+def sample_mix(n: int, rng, mix=None) -> list:
+    """`n` seeded draws from the workload mix as `(name, sql)` pairs.
+
+    `rng` is a `random.Random` (or a seed int, for convenience); `mix`
+    defaults to `QUERY_MIX`. Draws are weighted by the mix frequencies and
+    fully determined by the RNG state, so the same seed always yields the
+    same workload — the property the scheduler's replay tests depend on.
+    """
+    import random
+
+    if isinstance(rng, int):
+        rng = random.Random(rng)
+    mix = dict(mix or QUERY_MIX)
+    names = sorted(mix)
+    weights = [mix[name] for name in names]
+    picks = rng.choices(names, weights=weights, k=max(n, 0))
+    return [(name, QUERIES[name]) for name in picks]

@@ -8,6 +8,7 @@ table-tag invalidation driven by mediator/EAI write events.
 """
 
 from repro.cache.hierarchy import CacheConfig, CacheHierarchy
+from repro.cache.inflight import Flight, InFlightRegistry, InFlightStats
 from repro.cache.keys import canonical_statement, fetch_key
 from repro.cache.store import BoundedStore, CacheEntry, CacheStats
 
@@ -17,6 +18,9 @@ __all__ = [
     "CacheEntry",
     "CacheHierarchy",
     "CacheStats",
+    "Flight",
+    "InFlightRegistry",
+    "InFlightStats",
     "canonical_statement",
     "fetch_key",
 ]

@@ -1,0 +1,84 @@
+"""Single-flight coalescing of identical in-flight fetches.
+
+The fetch cache (level 2 of the hierarchy) deduplicates *completed*
+component fetches across queries; this registry deduplicates fetches that
+are still *in flight*. When two concurrent queries push down the same
+component SQL to the same source, the second attaches to the first's
+flight instead of issuing its own — the fetch runs once and both queries
+observe its completion. Keys are the same `(source, canonical SQL)`
+tuples `repro.cache.keys.fetch_key` produces, so the registry can never
+conflate two different statements: an attach against a key that is not
+currently in flight is a hard error, and a flight only ever completes the
+tokens attached under its own key.
+
+The registry is virtual-time bookkeeping for `repro.sched`'s workload
+scheduler (the netsim tradition: model the timeline, account the
+savings); it holds no relations and performs no I/O itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Flight:
+    """One in-flight fetch: its key, cost, and the coalesced followers."""
+
+    key: tuple
+    done_at: float
+    seconds: float = 0.0
+    #: opaque follower tokens (the scheduler uses (query id, task) pairs);
+    #: every token attached here waited on exactly this key's fetch
+    attached: list = field(default_factory=list)
+
+
+@dataclass
+class InFlightStats:
+    """Registry-lifetime counters, for telemetry and assertions."""
+
+    started: int = 0
+    coalesced: int = 0
+    seconds_saved: float = 0.0
+
+
+class InFlightRegistry:
+    """Tracks fetches between their start and completion, by fetch key."""
+
+    def __init__(self):
+        self._flights: dict[tuple, Flight] = {}
+        self.stats = InFlightStats()
+
+    def __len__(self) -> int:
+        return len(self._flights)
+
+    def get(self, key: tuple) -> Optional[Flight]:
+        """The in-flight fetch for `key`, or None when none is running."""
+        return self._flights.get(key)
+
+    def begin(self, key: tuple, done_at: float, seconds: float = 0.0) -> Flight:
+        """Register a fetch as in flight; `key` must not already be flying."""
+        if key in self._flights:
+            raise KeyError(f"fetch key {key!r} is already in flight")
+        flight = Flight(key, done_at, seconds)
+        self._flights[key] = flight
+        self.stats.started += 1
+        return flight
+
+    def attach(self, key: tuple, token, seconds_saved: float = 0.0) -> Flight:
+        """Coalesce `token` onto the in-flight fetch for exactly `key`.
+
+        Raises `KeyError` when no such flight exists — a follower must
+        never be completed by a different statement's fetch.
+        """
+        flight = self._flights[key]
+        assert flight.key == key, "registry invariant: flight keyed elsewhere"
+        flight.attached.append(token)
+        self.stats.coalesced += 1
+        self.stats.seconds_saved += seconds_saved
+        return flight
+
+    def complete(self, key: tuple) -> Flight:
+        """Finish the flight for `key`, returning it (with its followers)."""
+        return self._flights.pop(key)

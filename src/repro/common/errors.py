@@ -111,12 +111,27 @@ class ProcessError(EIIError):
 
 
 class AdmissionError(EIIError):
-    """Raised when a query's predicted cost exceeds the admission budget.
+    """Raised when a query's predicted cost exceeds the admission budget,
+    or when the workload scheduler rejects/sheds it under load.
 
     Carries `predicted_seconds` so callers can surface the expected
     performance to the user (the feedback loop Draper's §5 asks for).
+    Scheduler-raised instances additionally carry the admission-queue
+    state at the moment of rejection: `queue_depth` (the bound), `queued`
+    (how many requests were waiting) and `queue_wait_s` (how long the
+    rejected request had already waited, 0.0 at submission time).
     """
 
-    def __init__(self, message, predicted_seconds=None):
+    def __init__(
+        self,
+        message,
+        predicted_seconds=None,
+        queue_depth=None,
+        queued=None,
+        queue_wait_s=None,
+    ):
         self.predicted_seconds = predicted_seconds
+        self.queue_depth = queue_depth
+        self.queued = queued
+        self.queue_wait_s = queue_wait_s
         super().__init__(message)

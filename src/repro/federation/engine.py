@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
@@ -223,34 +224,46 @@ class _FetchRuntime:
         Returns ``(relation, cost_seconds, source_used, stmt_used)``; raises
         the last candidate's error when every access path is exhausted.
         """
-        manager = self.engine.resilience
-        if manager is None:
-            raw, cost = self._attempt(node.source, stmt, collector, description)
-            return raw, cost, node.source, stmt
-        last_error: Optional[Exception] = None
-        for index, (source, candidate_stmt) in enumerate(self._candidates(node, stmt)):
-            try:
-                raw, cost = manager.run_guarded(
-                    source.name,
-                    lambda s=source, q=candidate_stmt: self._attempt(
-                        s, q, collector, description
-                    ),
-                    collector,
-                    span=span,
-                )
-            except SourceError as exc:
-                last_error = exc
-                continue
-            if index > 0:
-                collector.failovers += 1
-                if span is not None:
-                    span.set(failover_to=source.name)
-                    span.event(
-                        "failover", span.offset_from(collector), source=source.name
+        # The per-source limiter (when attached) bounds how many pool
+        # workers may sit inside one source's round trips at a time, so a
+        # slow source queues its own callers instead of monopolizing the
+        # whole prefetch pool. Simulated time is unaffected — the limiter
+        # shapes wall-clock thread concurrency only.
+        limiter = self.engine.source_limiter
+        guard = (
+            limiter.slot(node.source.name) if limiter is not None else nullcontext()
+        )
+        with guard:
+            manager = self.engine.resilience
+            if manager is None:
+                raw, cost = self._attempt(node.source, stmt, collector, description)
+                return raw, cost, node.source, stmt
+            last_error: Optional[Exception] = None
+            for index, (source, candidate_stmt) in enumerate(
+                self._candidates(node, stmt)
+            ):
+                try:
+                    raw, cost = manager.run_guarded(
+                        source.name,
+                        lambda s=source, q=candidate_stmt: self._attempt(
+                            s, q, collector, description
+                        ),
+                        collector,
+                        span=span,
                     )
-            return raw, cost, source, candidate_stmt
-        assert last_error is not None
-        raise last_error
+                except SourceError as exc:
+                    last_error = exc
+                    continue
+                if index > 0:
+                    collector.failovers += 1
+                    if span is not None:
+                        span.set(failover_to=source.name)
+                        span.event(
+                            "failover", span.offset_from(collector), source=source.name
+                        )
+                return raw, cost, source, candidate_stmt
+            assert last_error is not None
+            raise last_error
 
     def _degrade(self, node, error, collector, kind, span=None) -> bool:
         """Record a skipped non-essential branch; True when degradation applies."""
@@ -488,6 +501,7 @@ class FederatedEngine:
         validate: bool = False,
         tracer=None,
         adaptive=None,
+        source_limiter=None,
     ):
         self.catalog = catalog
         self.network = network or NetworkModel()
@@ -541,6 +555,11 @@ class FederatedEngine:
         #: invariant verification after it, raising `AnalysisError` with
         #: zero bytes shipped when a query is statically infeasible
         self.validate = validate
+        #: optional per-source concurrency limiter (anything with a
+        #: ``slot(source_name)`` context manager, e.g.
+        #: `repro.sched.SourceLimiter`); bounds wall-clock threads per
+        #: source inside the prefetch pool
+        self.source_limiter = source_limiter
         self._analyzer = None
         self._scratch = Database("assembly")
         self._local = LocalEngine(self._scratch, optimize=False)
@@ -621,25 +640,10 @@ class FederatedEngine:
                 return result
         if trace is not None:
             trace.root.child("parse", category="parse", sql=canonical)
-        plan = self.cache.get_plan(canonical)
-        if (
-            plan is not None
-            and self.adaptive is not None
-            and self.adaptive.policy.feedback
-            and plan.feedback_generation != self.adaptive.generation
-        ):
-            # Calibrations moved since this plan was built: replan so the
-            # cache never serves an ordering the feedback already disowned.
-            plan = None
-        plan_was_cached = plan is not None
+        plan, plan_was_cached = self._plan_for(statement, canonical)
         plan_span = None
         if trace is not None:
             plan_span = trace.root.child("plan", category="plan", cached=plan_was_cached)
-        if plan is None:
-            plan = self.planner.plan(statement)
-            if self.adaptive is not None and self.adaptive.policy.feedback:
-                plan.feedback_generation = self.adaptive.generation
-            self.cache.put_plan(canonical, plan)
         if plan_span is not None:
             plan_span.set(
                 assembly_site=plan.assembly_site,
@@ -676,6 +680,40 @@ class FederatedEngine:
                 cost_seconds=result.elapsed_seconds,
             )
         return result
+
+    def prepare(self, query: Union[str, Select, LogicalPlan]) -> FederatedPlan:
+        """Plan a query — through the plan cache — without executing it.
+
+        The workload scheduler uses this for admission control: combined
+        with `predict_elapsed` it prices a queued query before any byte is
+        shipped. The plan landing in the cache here is the very plan a
+        later `query()` call reuses, so preparing is never wasted work.
+        """
+        statement, canonical = canonical_statement(query)
+        if not isinstance(statement, (Select, UnionSelect, LogicalPlan)):
+            raise PlanError("federated queries must be SELECT statements")
+        plan, _ = self._plan_for(statement, canonical)
+        return plan
+
+    def _plan_for(self, statement, canonical) -> "tuple[FederatedPlan, bool]":
+        """Cached-plan lookup + (re)planning; returns (plan, was_cached)."""
+        plan = self.cache.get_plan(canonical)
+        if (
+            plan is not None
+            and self.adaptive is not None
+            and self.adaptive.policy.feedback
+            and plan.feedback_generation != self.adaptive.generation
+        ):
+            # Calibrations moved since this plan was built: replan so the
+            # cache never serves an ordering the feedback already disowned.
+            plan = None
+        was_cached = plan is not None
+        if plan is None:
+            plan = self.planner.plan(statement)
+            if self.adaptive is not None and self.adaptive.policy.feedback:
+                plan.feedback_generation = self.adaptive.generation
+            self.cache.put_plan(canonical, plan)
+        return plan, was_cached
 
     def attach_invalidation(self, broker) -> None:
         """Evict dependent cache entries on `table.<name>.changed` events."""

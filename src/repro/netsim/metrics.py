@@ -57,6 +57,14 @@ class MetricsCollector:
     # adaptive-execution telemetry (populated by the federated engine)
     replans: int = 0
     lpt_reorders: int = 0
+    # workload-scheduler telemetry (populated by repro.sched; these live on
+    # the workload/tenant aggregate collectors, not on per-query ones)
+    queue_wait_seconds: float = 0.0
+    coalesced_fetches: int = 0
+    coalesced_seconds_saved: float = 0.0
+    shed_queries: int = 0
+    rejected_queries: int = 0
+    deadline_misses: int = 0
 
     def record_transfer(
         self,
@@ -166,6 +174,16 @@ class MetricsCollector:
             "lpt_reorders": self.lpt_reorders,
         }
 
+    def sched_summary(self) -> dict:
+        return {
+            "queue_wait_seconds": round(self.queue_wait_seconds, 6),
+            "coalesced_fetches": self.coalesced_fetches,
+            "coalesced_seconds_saved": round(self.coalesced_seconds_saved, 6),
+            "shed_queries": self.shed_queries,
+            "rejected_queries": self.rejected_queries,
+            "deadline_misses": self.deadline_misses,
+        }
+
     def summary(self) -> dict:
         """Flat dict used by EXPLAIN output and the benchmark harness.
 
@@ -183,4 +201,7 @@ class MetricsCollector:
         adaptive = self.adaptive_summary()
         if any(adaptive.values()):
             out.update(adaptive)
+        sched = self.sched_summary()
+        if any(sched.values()):
+            out.update(sched)
         return out

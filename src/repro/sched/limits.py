@@ -1,0 +1,68 @@
+"""Per-source concurrency limits for the engine's real thread pool.
+
+The federated engine's prefetch pool happily points every worker at the
+same source; when that source is the slow one, the whole pool stalls
+behind it. A `SourceLimiter` attached to the engine
+(``FederatedEngine(..., source_limiter=...)``) caps how many pool threads
+may be inside any one source's round trips at a time — surplus callers
+block until a slot frees, leaving the other workers free to make progress
+against healthy sources.
+
+Wall-clock shaping only: simulated time comes from the metrics layer and
+is untouched. The workload scheduler applies the *same* per-source caps
+to its virtual timeline (see `SchedulerConfig.source_limits`), so the
+simulated account and the thread behavior agree.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager, nullcontext
+from typing import Optional
+
+
+class SourceLimiter:
+    """Named counting semaphores with peak-concurrency instrumentation."""
+
+    def __init__(self, limits: Optional[dict] = None, default: Optional[int] = None):
+        """`limits` maps source name -> max concurrent calls; `default`
+        applies to unnamed sources (None = unlimited)."""
+        self.limits = {name.lower(): limit for name, limit in (limits or {}).items()}
+        self.default = default
+        self._semaphores: dict[str, threading.BoundedSemaphore] = {}
+        self._guard = threading.Lock()
+        self._in_flight: dict[str, int] = {}
+        #: highest concurrency ever observed per source (for assertions)
+        self.peak: dict[str, int] = {}
+
+    def limit_for(self, source_name: str) -> Optional[int]:
+        return self.limits.get(source_name.lower(), self.default)
+
+    def _semaphore(self, name: str, limit: int) -> threading.BoundedSemaphore:
+        with self._guard:
+            semaphore = self._semaphores.get(name)
+            if semaphore is None:
+                semaphore = self._semaphores[name] = threading.BoundedSemaphore(limit)
+            return semaphore
+
+    def slot(self, source_name: str):
+        """Context manager holding one concurrency slot against the source."""
+        name = source_name.lower()
+        limit = self.limit_for(name)
+        if limit is None:
+            return nullcontext()
+        return self._slot(name, self._semaphore(name, limit))
+
+    @contextmanager
+    def _slot(self, name: str, semaphore: threading.BoundedSemaphore):
+        semaphore.acquire()
+        with self._guard:
+            count = self._in_flight.get(name, 0) + 1
+            self._in_flight[name] = count
+            self.peak[name] = max(self.peak.get(name, 0), count)
+        try:
+            yield
+        finally:
+            with self._guard:
+                self._in_flight[name] -= 1
+            semaphore.release()

@@ -1,0 +1,542 @@
+"""The concurrent multi-query workload scheduler.
+
+`WorkloadScheduler` runs a batch of `QueryRequest`s against one shared
+`FederatedEngine` on the simulated clock: a discrete-event loop advances
+virtual time through arrivals, fetch completions and query completions,
+while weighted-fair queueing (`repro.sched.wfq`), per-source concurrency
+limits, in-flight fetch coalescing (`repro.cache.InFlightRegistry`) and
+deadline-based load shedding decide who runs when.
+
+Correctness by construction: the *answer* to each admitted query comes
+from one real `engine.query()` call issued at its virtual dispatch time,
+in dispatch order — exactly the rows a serial run of the same sequence
+would produce. Concurrency lives entirely in the virtual timeline (which
+worker slot a fetch occupies, when it completes, what coalesces with
+what), the same way the netsim "ships" bytes without sending packets. The
+differential oracle suite (`tests/test_sched_oracle.py`) verifies the
+construction: concurrent answers ≡ serial answers, with and without fault
+injection, and seeded runs replay byte-identically.
+
+Virtual execution model, per dispatched query:
+
+- its component fetches (from the engine's own per-fetch accounting)
+  become tasks competing for `workers` global slots, subject to
+  per-source limits; identical in-flight fetch keys coalesce;
+- when its last fetch lands, an assembly stage (bind joins, local
+  operators, final transfer — everything the engine charged beyond the
+  prefetch makespan) runs uncontended;
+- queue wait, service time and deadline outcome land in a
+  `QueryOutcome`, per-tenant counters in `MetricsCollector`s, and the
+  whole timeline in a manually-laid-out `repro.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cache import InFlightRegistry, fetch_key
+from repro.common.errors import AdmissionError, EIIError
+from repro.federation.engine import parallel_makespan
+from repro.netsim.metrics import MetricsCollector
+from repro.sched.request import (
+    FAILED,
+    OK,
+    PARTIAL,
+    REJECTED,
+    SHED,
+    QueryOutcome,
+    QueryRequest,
+    Tenant,
+    WorkloadResult,
+)
+from repro.sched.wfq import FairQueue
+from repro.trace.span import Trace
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the workload scheduler's virtual execution model."""
+
+    #: global simulated fetch slots shared by every active query
+    workers: int = 8
+    #: queries allowed past the admission queue at once (None = `workers`)
+    max_active: Optional[int] = None
+    #: bound on the admission queue; arrivals past it are rejected with an
+    #: `AdmissionError` carrying the queue state (None = unbounded)
+    queue_depth: Optional[int] = None
+    #: "wfq" (weighted-fair across tenants, strict priorities) or "fifo"
+    policy: str = "wfq"
+    #: coalesce identical in-flight fetch keys across concurrent queries
+    coalesce: bool = True
+    #: per-source virtual concurrency caps, e.g. ``{"crm": 2}``; a source
+    #: not listed is unlimited
+    source_limits: Optional[dict] = None
+    #: drop queries whose deadline already passed while they queued
+    shed_late: bool = True
+    #: reject queries predicted to run longer than this (None = admit all)
+    admission_budget_s: Optional[float] = None
+    #: keep the engine's SimClock in step with workload virtual time, so
+    #: time-windowed behavior (cache TTLs, outage windows) sees the
+    #: workload timeline; ignored when the engine clock can't be advanced
+    advance_clock: bool = True
+    #: build the workload `Trace` (byte-identical across seeded replays)
+    trace: bool = True
+
+    def __post_init__(self):
+        self.workers = max(int(self.workers), 1)
+        if self.max_active is None:
+            self.max_active = self.workers
+        self.max_active = max(int(self.max_active), 1)
+
+
+@dataclass
+class _FetchTask:
+    """One component fetch of one active query, on the virtual timeline."""
+
+    key: tuple
+    source: str
+    duration_s: float
+    state: str = "pending"  # pending -> running | attached -> done
+
+
+@dataclass
+class _Active:
+    """Bookkeeping for a dispatched (really-executed) query."""
+
+    outcome: QueryOutcome
+    tasks: list = field(default_factory=list)
+    remaining: int = 0
+    assembly_s: float = 0.0
+
+
+class WorkloadScheduler:
+    """Runs query workloads concurrently over one shared federated engine."""
+
+    def __init__(
+        self,
+        engine,
+        tenants: Optional[dict] = None,
+        config: Optional[SchedulerConfig] = None,
+        scoreboard=None,
+    ):
+        self.engine = engine
+        self.config = config or SchedulerConfig()
+        #: tenant name -> `Tenant`; unknown tenants get weight-1 defaults
+        self.tenants = {t.name: t for t in (tenants or {}).values()} if isinstance(
+            tenants, dict
+        ) else {t.name: t for t in (tenants or [])}
+        #: optional `QueryScoreboard` fed one record per outcome
+        self.scoreboard = scoreboard
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self, requests: list) -> WorkloadResult:
+        """Execute `requests` on the virtual timeline; returns the account."""
+        state = _RunState(self, list(requests))
+        return state.run()
+
+
+class _RunState:
+    """One workload run's mutable state (the event loop lives here)."""
+
+    def __init__(self, scheduler: WorkloadScheduler, requests: list):
+        self.scheduler = scheduler
+        self.engine = scheduler.engine
+        self.config = scheduler.config
+        self.requests = requests
+        self.queue = FairQueue(
+            tenants=dict(scheduler.tenants),
+            depth=self.config.queue_depth,
+            policy=self.config.policy,
+        )
+        self.inflight = InFlightRegistry()
+        self.events: list = []  # heap of (time, seq, kind, payload)
+        self.seq = 0
+        self.now = 0.0
+        self.free_workers = self.config.workers
+        self.source_free = {
+            name.lower(): int(limit)
+            for name, limit in (self.config.source_limits or {}).items()
+        }
+        self.active: dict[int, _Active] = {}
+        self.active_order: list[int] = []  # dispatch order of active ids
+        self.outcomes: dict[int, QueryOutcome] = {}
+        self.dispatched = 0
+        self.serial_s = 0.0
+        self.makespan_s = 0.0
+        self.audit: list = []
+
+    # -- event plumbing ----------------------------------------------------------
+
+    def _push(self, time_s: float, kind: str, payload) -> None:
+        heapq.heappush(self.events, (time_s, self.seq, kind, payload))
+        self.seq += 1
+
+    def run(self) -> WorkloadResult:
+        for index, request in enumerate(self.requests):
+            self.outcomes[index] = QueryOutcome(
+                request, arrival_s=request.arrival_s
+            )
+            self._push(max(request.arrival_s, 0.0), "arrive", index)
+        while self.events:
+            time_s, _, kind, payload = heapq.heappop(self.events)
+            self.now = max(self.now, time_s)
+            if kind == "arrive":
+                self._on_arrive(payload)
+            elif kind == "fetch_done":
+                self._on_fetch_done(*payload)
+            elif kind == "query_done":
+                self._on_query_done(payload)
+            self._refill()
+        return self._finalize()
+
+    # -- arrival / admission -----------------------------------------------------
+
+    def _estimate(self, request: QueryRequest) -> Optional[float]:
+        """Predicted simulated elapsed for `request` (None when unplannable)."""
+        try:
+            plan = self.engine.prepare(request.sql)
+            return self.engine.predict_elapsed(plan)
+        except EIIError:
+            return None
+
+    def _on_arrive(self, index: int) -> None:
+        request = self.requests[index]
+        outcome = self.outcomes[index]
+        estimate = self._estimate(request)
+        budget = self.config.admission_budget_s
+        if budget is not None and estimate is not None and estimate > budget:
+            outcome.status = REJECTED
+            outcome.finish_s = self.now
+            outcome.error = str(
+                AdmissionError(
+                    f"query {request.label!r} predicted to take "
+                    f"{estimate:.3f}s, over the {budget:.3f}s admission budget",
+                    predicted_seconds=estimate,
+                    queued=len(self.queue),
+                    queue_depth=self.config.queue_depth,
+                )
+            )
+            return
+        try:
+            self.queue.push(
+                request,
+                self.now,
+                service_estimate_s=estimate if estimate is not None else 1.0,
+                token=index,
+            )
+        except AdmissionError as exc:
+            outcome.status = REJECTED
+            outcome.finish_s = self.now
+            outcome.error = str(exc)
+
+    # -- dispatch (the one place real execution happens) -------------------------
+
+    def _dispatch(self, index: int) -> None:
+        request = self.requests[index]
+        outcome = self.outcomes[index]
+        outcome.dispatch_s = self.now
+        outcome.queue_wait_s = max(0.0, self.now - outcome.arrival_s)
+        outcome.dispatch_index = self.dispatched
+        self.dispatched += 1
+        self._sync_clock()
+        try:
+            result = self.engine.query(request.sql)
+        except EIIError as exc:
+            metrics = getattr(exc, "metrics", None)
+            duration = metrics.simulated_seconds if metrics is not None else 0.0
+            outcome.status = FAILED
+            outcome.error = str(exc)
+            self.serial_s += duration
+            active = _Active(outcome, tasks=[], remaining=0, assembly_s=duration)
+            self._activate(index, active)
+            self._push(self.now + duration, "query_done", index)
+            return
+        outcome.result = result
+        outcome.status = PARTIAL if result.is_partial else OK
+        self.serial_s += result.elapsed_seconds
+        tasks, assembly_s = self._decompose(result)
+        active = _Active(
+            outcome, tasks=tasks, remaining=len(tasks), assembly_s=assembly_s
+        )
+        self._activate(index, active)
+        if not tasks:
+            self._push(self.now + assembly_s, "query_done", index)
+
+    def _activate(self, index: int, active: _Active) -> None:
+        self.active[index] = active
+        self.active_order.append(index)
+
+    def _sync_clock(self) -> None:
+        """Advance the engine's SimClock to workload virtual time."""
+        if not self.config.advance_clock:
+            return
+        clock = getattr(self.engine, "clock", None)
+        if clock is None or not hasattr(clock, "advance"):
+            return  # wall clock (time.time) — nothing to keep in step
+        behind = self.now - clock.now()
+        if behind > 0:
+            clock.advance(behind)
+
+    def _decompose(self, result) -> "tuple[list, float]":
+        """Split one executed query into fetch tasks + an assembly stage.
+
+        Falls back to a single opaque stage when per-fetch durations can't
+        be paired with plan nodes (whole-result cache hits, or an adaptive
+        engine whose LPT pass reordered submissions).
+        """
+        fetches = result.plan.fetches if result.plan is not None else []
+        durations = result.fetch_seconds
+        adaptive = getattr(self.engine, "adaptive", None)
+        reordered = adaptive is not None and adaptive.policy.lpt
+        if (
+            result.from_cache
+            or not fetches
+            or reordered
+            or len(durations) != len(fetches)
+        ):
+            return [], result.elapsed_seconds
+        tasks = [
+            _FetchTask(
+                key=fetch_key(node.source.name, node.stmt),
+                source=node.source.name.lower(),
+                duration_s=duration,
+            )
+            for node, duration in zip(fetches, durations)
+        ]
+        fetch_elapsed = parallel_makespan(durations, self.engine.parallel_workers)
+        assembly_s = max(0.0, result.elapsed_seconds - fetch_elapsed)
+        return tasks, assembly_s
+
+    # -- the scheduling round ----------------------------------------------------
+
+    def _refill(self) -> None:
+        """Admit queued queries and hand pending fetches to free slots."""
+        while len(self.active) < self.config.max_active:
+            entry = self.queue.pop()
+            if entry is None:
+                break
+            request = entry.request
+            index = entry.token
+            deadline = request.deadline_s
+            if (
+                self.config.shed_late
+                and deadline is not None
+                and self.now > deadline
+            ):
+                self._shed(index)
+                continue
+            self._dispatch(index)
+        startable_blocked = 0
+        for index in self.active_order:
+            active = self.active.get(index)
+            if active is None:
+                continue
+            for task in active.tasks:
+                if task.state != "pending":
+                    continue
+                if self.config.coalesce and self.inflight.get(task.key) is not None:
+                    task.state = "attached"
+                    self.inflight.attach(
+                        task.key, (index, task), seconds_saved=task.duration_s
+                    )
+                    active.outcome.coalesced_fetches += 1
+                    active.outcome.coalesced_seconds_saved += task.duration_s
+                    continue
+                if self.free_workers <= 0:
+                    continue
+                if not self._source_available(task.source):
+                    continue
+                self._start_task(index, task)
+        # audit: a pending task with a free worker AND a free source slot
+        # should not exist after this round (work conservation)
+        if self.free_workers > 0:
+            for index in self.active_order:
+                active = self.active.get(index)
+                if active is None:
+                    continue
+                for task in active.tasks:
+                    if task.state == "pending" and self._source_available(
+                        task.source
+                    ):
+                        startable_blocked += 1
+        self.audit.append(
+            (
+                round(self.now, 9),
+                self.free_workers,
+                len(self.queue),
+                len(self.active),
+                startable_blocked,
+            )
+        )
+
+    def _source_available(self, source: str) -> bool:
+        free = self.source_free.get(source)
+        return free is None or free > 0
+
+    def _start_task(self, index: int, task: _FetchTask) -> None:
+        task.state = "running"
+        self.free_workers -= 1
+        if task.source in self.source_free:
+            self.source_free[task.source] -= 1
+        if self.config.coalesce:
+            self.inflight.begin(
+                task.key, done_at=self.now + task.duration_s, seconds=task.duration_s
+            )
+        self._push(self.now + task.duration_s, "fetch_done", (index, id(task)))
+
+    # -- completions -------------------------------------------------------------
+
+    def _on_fetch_done(self, index: int, task_id: int) -> None:
+        active = self.active[index]
+        task = next(t for t in active.tasks if id(t) == task_id)
+        self.free_workers += 1
+        if task.source in self.source_free:
+            self.source_free[task.source] += 1
+        finished = [(index, task)]
+        if self.config.coalesce:
+            flight = self.inflight.complete(task.key)
+            finished.extend(flight.attached)
+        for query_index, done_task in finished:
+            done_task.state = "done"
+            follower = self.active[query_index]
+            follower.remaining -= 1
+            if follower.remaining == 0:
+                self._push(
+                    self.now + follower.assembly_s, "query_done", query_index
+                )
+
+    def _on_query_done(self, index: int) -> None:
+        active = self.active.pop(index)
+        self.active_order.remove(index)
+        outcome = active.outcome
+        outcome.finish_s = self.now
+        outcome.service_s = max(0.0, self.now - outcome.dispatch_s)
+        deadline = outcome.request.deadline_s
+        if deadline is not None and outcome.finish_s > deadline:
+            outcome.deadline_missed = True
+        self.makespan_s = max(self.makespan_s, self.now)
+
+    def _shed(self, index: int) -> None:
+        outcome = self.outcomes[index]
+        wait = max(0.0, self.now - outcome.arrival_s)
+        outcome.status = SHED
+        outcome.finish_s = self.now
+        outcome.queue_wait_s = wait
+        outcome.error = str(
+            AdmissionError(
+                f"query {outcome.request.label!r} shed: deadline "
+                f"{outcome.request.deadline_s:.3f}s passed after "
+                f"{wait:.3f}s in the queue",
+                queued=len(self.queue),
+                queue_depth=self.config.queue_depth,
+                queue_wait_s=wait,
+            )
+        )
+        self.makespan_s = max(self.makespan_s, self.now)
+
+    # -- finalization ------------------------------------------------------------
+
+    def _finalize(self) -> WorkloadResult:
+        outcomes = [self.outcomes[i] for i in range(len(self.requests))]
+        result = WorkloadResult(
+            outcomes=outcomes,
+            makespan_s=self.makespan_s,
+            serial_s=self.serial_s,
+            metrics=MetricsCollector(network=self.engine.network),
+            audit=self.audit,
+        )
+        for outcome in outcomes:
+            tenant_name = outcome.request.tenant
+            tenant = result.tenant_metrics.get(tenant_name)
+            if tenant is None:
+                tenant = result.tenant_metrics[tenant_name] = MetricsCollector(
+                    network=self.engine.network
+                )
+            for collector in (result.metrics, tenant):
+                if outcome.result is not None:
+                    collector.merge(outcome.result.metrics)
+                if outcome.dispatch_index >= 0:
+                    collector.queue_wait_seconds += outcome.queue_wait_s
+                collector.coalesced_fetches += outcome.coalesced_fetches
+                collector.coalesced_seconds_saved += (
+                    outcome.coalesced_seconds_saved
+                )
+                collector.shed_queries += outcome.status == SHED
+                collector.rejected_queries += outcome.status == REJECTED
+                collector.deadline_misses += outcome.deadline_missed
+            if self.scheduler.scoreboard is not None:
+                self.scheduler.scoreboard.record_outcome(outcome)
+        if self.config.trace:
+            result.trace = self._build_trace(result)
+        return result
+
+    def _build_trace(self, result: WorkloadResult) -> Trace:
+        """Lay the workload out as a span tree on the virtual timeline.
+
+        The layout is explicit (each span's `start_s`/`lane` is assigned
+        here, and `finalize()` is bypassed) because the schedule — not
+        serial or list-scheduled composition — determined the starts. The
+        root's `makespan_s`/`serial_s` attrs carry the run-level timings;
+        its summed extent is the workload's total turnaround.
+        """
+        config = self.config
+        trace = Trace(
+            "workload",
+            policy=config.policy,
+            workers=config.workers,
+            max_active=config.max_active,
+            coalesce=config.coalesce,
+            queries=len(result.outcomes),
+        )
+        trace.root.set(
+            makespan_s=round(result.makespan_s, 9),
+            serial_s=round(result.serial_s, 9),
+            coalesced_fetches=result.metrics.coalesced_fetches,
+        )
+        for outcome in result.outcomes:
+            span = trace.root.child(
+                f"query:{outcome.request.label}",
+                category="sched.query",
+                tenant=outcome.request.tenant,
+                status=outcome.status,
+                dispatch_index=outcome.dispatch_index,
+            )
+            span.start_s = outcome.arrival_s
+            if outcome.dispatch_index >= 0:
+                span.lane = 1 + outcome.dispatch_index % config.workers
+            if outcome.coalesced_fetches:
+                span.set(
+                    coalesced_fetches=outcome.coalesced_fetches,
+                    coalesced_seconds_saved=round(
+                        outcome.coalesced_seconds_saved, 9
+                    ),
+                )
+            if outcome.status in (SHED, REJECTED):
+                span.event("sched." + outcome.status, 0.0, error=outcome.error)
+                continue
+            queued = span.child("queued", category="sched.wait")
+            queued.self_seconds = outcome.queue_wait_s
+            queued.start_s = outcome.arrival_s
+            queued.lane = span.lane
+            service = span.child("service", category="sched.service")
+            service.self_seconds = outcome.service_s
+            service.start_s = outcome.dispatch_s
+            service.lane = span.lane
+            if outcome.deadline_missed:
+                span.event(
+                    "sched.deadline_missed",
+                    max(0.0, outcome.finish_s - outcome.arrival_s),
+                    deadline_s=outcome.request.deadline_s,
+                )
+        trace.finalized = True  # explicit layout: do not re-run finalize()
+        return trace
+
+
+__all__ = [
+    "SchedulerConfig",
+    "Tenant",
+    "WorkloadScheduler",
+]

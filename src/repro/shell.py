@@ -15,6 +15,8 @@ Commands:
     \feedback [clear]   inspect (or drop) the adaptive cardinality
                         calibrations learned from executed queries
     \trace              toggle tracing (on by default; off = no-op tracer)
+    \workload [n [seed]]  run a seeded n-query multi-tenant workload
+                        through the concurrent scheduler (default 25, seed 0)
     \quit               exit
 
 Anything else is executed as federated SQL against the generated
@@ -130,12 +132,40 @@ class Shell:
             self.engine.set_tracer(self.tracer if self.tracing else None)
             self.write(f"tracing {'on' if self.tracing else 'off'}")
             return True
+        if command == "\\workload":
+            self._workload(argument.split())
+            return True
         self.write(
             f"unknown command {command!r} "
             "(try \\sources \\tables \\explain \\lint \\profile \\scoreboard "
-            "\\feedback \\quit)"
+            "\\feedback \\workload \\quit)"
         )
         return True
+
+    def _workload(self, args: list) -> None:
+        """Run a seeded concurrent workload and print the tenant table."""
+        from repro.sched import (
+            DEFAULT_TENANTS,
+            SchedulerConfig,
+            WorkloadScheduler,
+            make_workload,
+        )
+
+        try:
+            n = int(args[0]) if args else 25
+            seed = int(args[1]) if len(args) > 1 else 0
+        except ValueError:
+            self.write("usage: \\workload [n [seed]]")
+            return
+        requests = make_workload(n, seed=seed)
+        scheduler = WorkloadScheduler(
+            self.engine,
+            tenants=DEFAULT_TENANTS,
+            config=SchedulerConfig(),
+            scoreboard=self.scoreboard if self.tracing else None,
+        )
+        result = scheduler.run(requests)
+        self.write(result.render())
 
     def _lint(self, argument: str) -> None:
         """Static analysis of one query, or of a workspace directory."""

@@ -422,6 +422,52 @@ def test_adaptive_execution_matches_static(sql, config):
         assert adaptive.query(sql).relation.sorted().rows == oracle, sql
 
 
+# -- workload fuzzing: the concurrent scheduler never changes answers ----------
+#
+# The sched contract, fuzzed: for ANY list of random queries and ANY
+# scheduler configuration, every answered outcome of a concurrent workload
+# run equals the co-located baseline's answer for that query.
+
+from repro.sched import (  # noqa: E402
+    QueryRequest,
+    SchedulerConfig,
+    Tenant,
+    WorkloadScheduler,
+)
+
+
+@given(
+    sqls=st.lists(random_query(), min_size=1, max_size=5),
+    workers=st.sampled_from([1, 2, 8]),
+    policy=st.sampled_from(["wfq", "fifo"]),
+    coalesce=st.booleans(),
+)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_concurrent_workload_equals_colocated(sqls, workers, policy, coalesce):
+    catalog = FIXTURE.catalog(include_credit=False, include_docs=False)
+    engine = FederatedEngine(catalog)
+    requests = [
+        QueryRequest(sql, tenant=("a" if i % 2 else "b"), arrival_s=0.001 * i)
+        for i, sql in enumerate(sqls)
+    ]
+    result = WorkloadScheduler(
+        engine,
+        tenants={"a": Tenant("a", weight=2.0), "b": Tenant("b")},
+        config=SchedulerConfig(workers=workers, policy=policy, coalesce=coalesce),
+    ).run(requests)
+    assert all(o.answered for o in result.outcomes)
+    assert all(row[-1] == 0 for row in result.audit)
+    for outcome in result.outcomes:
+        local = BASELINE.query(outcome.request.sql).sorted()
+        assert outcome.result.relation.sorted().rows == local.rows, (
+            outcome.request.sql
+        )
+
+
 @given(sql=random_query(), schedule=fault_schedule(), seed=st.integers(0, 7))
 @settings(
     max_examples=15,

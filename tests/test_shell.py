@@ -102,6 +102,53 @@ class TestShell:
         assert "tracing on" in out.getvalue()
         assert shell.engine.tracer is shell.tracer
 
+    def test_feedback_renders_calibrations(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("SELECT COUNT(*) AS n FROM orders")
+        shell.handle("\\feedback")
+        text = out.getvalue()
+        assert "calibration" in text or "feedback" in text
+
+    def test_feedback_clear_drops_calibrations(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("SELECT COUNT(*) AS n FROM orders")
+        shell.handle("\\feedback clear")
+        assert "feedback: dropped" in out.getvalue()
+        shell.handle("\\feedback CLEAR")  # case-insensitive, idempotent
+        assert out.getvalue().count("feedback: dropped") == 2
+
+    def test_workload_runs_and_renders_tenant_table(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("\\workload 10 3")
+        text = out.getvalue()
+        assert "tenant" in text and "mean_wait_s" in text
+        assert "workload: 10 queries" in text
+        assert "makespan" in text
+        # outcomes folded into the session scoreboard's tenant stats
+        assert shell.scoreboard.tenants
+        assert (
+            sum(s.queries for s in shell.scoreboard.tenants.values()) == 10
+        )
+
+    def test_workload_defaults_and_bad_arguments(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("\\workload nope")
+        assert "usage: \\workload" in out.getvalue()
+        shell.handle("\\workload 5")
+        assert "workload: 5 queries" in out.getvalue()
+
+    def test_workload_determinism_across_sessions(self):
+        def transcript():
+            out = io.StringIO()
+            Shell(scale=1, out=out).handle("\\workload 8 1")
+            return out.getvalue()
+
+        assert transcript() == transcript()
+
     def test_quit_stops_session(self, shell_output):
         text, _ = shell_output
         assert "should_never_run" not in text
