@@ -1,0 +1,52 @@
+"""CLI entry point: `python -m repro.analysis.concurrency [paths...]`.
+
+Runs the static concurrency passes (lock-order cycles EII501, unguarded
+shared writes EII502, check-then-act EII503) over python files or source
+trees; defaults to `src/repro`. Exit status: 0 clean, 1 when any
+error-severity diagnostic (or, with `--strict`, any warning) is found.
+The dynamic detectors (race sanitizer, interleaving fuzzer) run from
+pytest — see the `--race-sanitize` option and `tests/concurrency_corpus`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.concurrency import lint_concurrency
+from repro.analysis.diagnostics import Severity
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.concurrency",
+        description="Static concurrency lint: lock-order cycles, unguarded "
+        "shared-state writes, non-atomic check-then-act.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="python files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too, not just errors",
+    )
+    args = parser.parse_args(argv)
+
+    report = lint_concurrency(args.paths)
+    for diagnostic in report:
+        print(diagnostic.render())
+    print(report.headline())
+
+    if report.errors:
+        return 1
+    if args.strict and any(d.severity >= Severity.WARNING for d in report):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,483 @@
+"""Deterministic interleaving fuzzer (EII505/EII506): adversarial schedules.
+
+Three differential scenarios, all judged against a serial oracle — the
+same discipline as `test_sched_oracle.py`, but over *real* threads whose
+interleavings are perturbed on purpose:
+
+* `run_coalescing_scenario` — N threads race `InFlightRegistry
+  .begin_or_attach` for one key. An `InterleaveSchedule` staggers their
+  arrivals in a seeded order (host-flight loser, late attach after the
+  host completed, …); every caller must still observe exactly the cold
+  fetch's bytes, and with `force_coalesce=True` the upstream must be hit
+  exactly once. Divergence is **EII505**.
+* `run_limiter_scenario` — K threads pour through `SourceLimiter.slot`,
+  optionally failing mid-slot; the observed peak must respect the cap
+  and every slot must drain, else **EII506**.
+* `fuzz_prefetch` — a whole `FederatedEngine.query` with the prefetch
+  pool's fetches gated: each worker blocks at the top of
+  `_FetchRuntime.fetch` until a seeded controller releases it, forcing
+  fetch completion orders the pool would rarely produce. Rows and the
+  metrics summary must be identical to an unperturbed run (**EII505**).
+
+The scheduler is cooperative and name-based: worker threads `register`,
+block at `point()`s, and `finish()` before any external wait, so the
+seeded release order is reproducible run over run. A watchdog deadline
+releases everything and marks the schedule `aborted` rather than hanging
+the test process.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import Diagnostic, error
+
+_DEFAULT_TIMEOUT = 20.0
+
+
+class InterleaveSchedule:
+    """Seeded cooperative scheduler over named threads.
+
+    Participants `register(name)` before starting, block at
+    `point(name, label)` while running, and `finish(name)` when they stop
+    taking schedule points (including just before an external wait such
+    as `Flight.wait` — a thread blocked outside the scheduler must not
+    count as schedulable). Whenever every live participant is blocked,
+    one is released, chosen by the seeded RNG; `history` records the
+    release order so a failing seed replays exactly.
+    """
+
+    def __init__(self, seed: int, timeout: float = _DEFAULT_TIMEOUT):
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._registered: set = set()
+        self._finished: set = set()
+        self._blocked: dict = {}  # name -> token for the current point
+        self._timeout = timeout
+        self.history: List[str] = []
+        self.aborted = False
+
+    def register(self, name: str) -> None:
+        with self._cond:
+            self._registered.add(name)
+
+    def finish(self, name: str) -> None:
+        with self._cond:
+            self._finished.add(name)
+            self._blocked.pop(name, None)
+            self._maybe_release()
+            self._cond.notify_all()
+
+    def point(self, name: str, label: str = "") -> None:
+        """Block until the schedule releases this thread."""
+        token = object()
+        with self._cond:
+            if self.aborted or name in self._finished:
+                return
+            self._blocked[name] = token
+            self._maybe_release()
+            deadline = time.monotonic() + self._timeout
+            while self._blocked.get(name) is token and not self.aborted:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    # watchdog: some participant is stuck outside the
+                    # scheduler — release everyone and flag the run
+                    self.aborted = True
+                    self._blocked.clear()
+                    self._cond.notify_all()
+                    return
+                self._cond.wait(min(remaining, 0.25))
+
+    def _maybe_release(self) -> None:
+        # caller holds the condition
+        live = self._registered - self._finished
+        if self._blocked and set(self._blocked) == live:
+            chosen = self._rng.choice(sorted(self._blocked))
+            self.history.append(chosen)
+            del self._blocked[chosen]
+            self._cond.notify_all()
+
+
+# ---------------------------------------------------------------------------
+# Scenario: single-flight coalescing
+# ---------------------------------------------------------------------------
+
+
+def single_flight(
+    registry,
+    key: tuple,
+    token,
+    fetch: Callable[[], object],
+    schedule: Optional[InterleaveSchedule] = None,
+    name: str = "",
+):
+    """One caller's side of the host-or-follower protocol.
+
+    Returns `(value, was_host)`. The host runs `fetch` and publishes via
+    `registry.finish`; followers block on the flight. With a `schedule`,
+    arrival and host-fetch are schedule points so the seed controls who
+    hosts and who loses the race.
+    """
+    if schedule is not None:
+        schedule.point(name, "arrive")
+    flight, is_host = registry.begin_or_attach(key, token)
+    if is_host:
+        if schedule is not None:
+            schedule.point(name, "fetch")
+        try:
+            value = fetch()
+        except BaseException as exc:
+            if schedule is not None:
+                schedule.finish(name)
+            registry.finish(key, None, error=exc)
+            raise
+        if schedule is not None:
+            schedule.finish(name)
+        registry.finish(key, value)
+        return value, True
+    if schedule is not None:
+        schedule.finish(name)  # about to wait outside the scheduler
+    return flight.wait(timeout=_DEFAULT_TIMEOUT), False
+
+
+def run_coalescing_scenario(
+    fetch: Callable[[], object],
+    n_threads: int = 4,
+    seed: int = 0,
+    registry=None,
+    force_coalesce: bool = False,
+) -> List[Diagnostic]:
+    """Race `n_threads` callers for one flight key; diff against cold fetch.
+
+    `fetch` must be pure (same bytes every call). Returns EII505/EII506
+    diagnostics; an empty list means the interleaving was harmless.
+    `force_coalesce=True` pins the worst-case ordering — every follower
+    attached before the host touches upstream — and then also requires
+    exactly one upstream call.
+    """
+    from repro.cache.inflight import InFlightRegistry
+
+    if registry is None:
+        registry = InFlightRegistry()
+    oracle = fetch()
+    upstream_calls = [0]
+    call_guard = threading.Lock()
+    all_arrived = threading.Event()
+
+    def counted_fetch():
+        with call_guard:
+            upstream_calls[0] += 1
+        if force_coalesce:
+            # the host stalls upstream until every rival has attached —
+            # the adversarial ordering where coalescing must carry all
+            all_arrived.wait(_DEFAULT_TIMEOUT)
+        return fetch()
+
+    schedule = None if force_coalesce else InterleaveSchedule(seed)
+    key = ("src", "stmt", seed)
+    results: dict = {}
+    errors: dict = {}
+
+    def caller(i: int) -> None:
+        name = f"caller-{i}"
+        try:
+            value, _was_host = single_flight(
+                registry, key, name, counted_fetch, schedule, name
+            )
+            results[i] = value
+        except BaseException as exc:  # noqa: BLE001 — diffed, not crashed
+            errors[i] = exc
+
+    # daemons: a buggy registry can strand followers forever, and a wedged
+    # scenario thread must fail the diff, not hang interpreter shutdown
+    threads = [
+        threading.Thread(target=caller, args=(i,), name=f"caller-{i}", daemon=True)
+        for i in range(n_threads)
+    ]
+    if schedule is not None:
+        for thread in threads:
+            schedule.register(thread.name)
+    for thread in threads:
+        thread.start()
+    if force_coalesce:
+        # wait for all callers to be past begin_or_attach (host included)
+        deadline = time.monotonic() + _DEFAULT_TIMEOUT
+        while time.monotonic() < deadline:
+            if len(registry) == 0 or (
+                registry.get(key) is not None
+                and len(registry.get(key).attached) == n_threads - 1
+            ):
+                break
+            time.sleep(0.005)
+        all_arrived.set()
+    for thread in threads:
+        thread.join(_DEFAULT_TIMEOUT)
+
+    diagnostics: List[Diagnostic] = []
+    origin = f"interleave[seed={seed}]"
+    if schedule is not None and schedule.aborted:
+        diagnostics.append(
+            error(
+                "EII505",
+                "schedule aborted: a participant wedged outside the "
+                "scheduler (possible deadlock under this interleaving)",
+                hint=f"release history: {schedule.history}",
+                origin=origin,
+            )
+        )
+    for i, exc in sorted(errors.items()):
+        diagnostics.append(
+            error(
+                "EII505",
+                f"caller-{i} raised {type(exc).__name__}: {exc} where the "
+                "serial oracle succeeds",
+                origin=origin,
+            )
+        )
+    for i, value in sorted(results.items()):
+        if value != oracle:
+            diagnostics.append(
+                error(
+                    "EII505",
+                    f"caller-{i} observed {value!r}, serial oracle says "
+                    f"{oracle!r}",
+                    hint="a follower was resolved with something other "
+                    "than the host's fetched value",
+                    origin=origin,
+                )
+            )
+    if force_coalesce and not diagnostics and upstream_calls[0] != 1:
+        diagnostics.append(
+            error(
+                "EII505",
+                f"{upstream_calls[0]} upstream fetches for one key with "
+                "every caller attached before the host fetched (expected "
+                "exactly 1)",
+                origin=origin,
+            )
+        )
+    if len(registry) != 0:
+        diagnostics.append(
+            error(
+                "EII506",
+                f"{len(registry)} flight(s) still registered after every "
+                "caller returned",
+                origin=origin,
+            )
+        )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Scenario: limiter handoff
+# ---------------------------------------------------------------------------
+
+
+def run_limiter_scenario(
+    limiter,
+    source: str = "src",
+    n_threads: int = 16,
+    seed: int = 0,
+    fail_on: Sequence[int] = (),
+    work: Optional[Callable[[int], None]] = None,
+) -> List[Diagnostic]:
+    """Hammer `limiter.slot(source)` from `n_threads`; audit peak + drain.
+
+    Threads listed in `fail_on` raise inside their slot — the limiter
+    must still release. Returns EII506 diagnostics (empty = clean).
+    """
+    rng = random.Random(seed)
+    limit = limiter.limit_for(source)
+    start = threading.Barrier(n_threads)
+
+    def worker(i: int) -> None:
+        start.wait(_DEFAULT_TIMEOUT)
+        time.sleep(rng.random() * 0.002)
+        try:
+            with limiter.slot(source):
+                if work is not None:
+                    work(i)
+                if i in fail_on:
+                    raise RuntimeError(f"injected failure in slot {i}")
+        except RuntimeError:
+            pass
+
+    # daemons: a leaky limiter leaves later workers blocked in acquire()
+    # forever — they must not block interpreter shutdown
+    threads = [
+        threading.Thread(target=worker, args=(i,), daemon=True)
+        for i in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(_DEFAULT_TIMEOUT)
+
+    diagnostics: List[Diagnostic] = []
+    origin = f"interleave[seed={seed}]"
+    snapshot = limiter.snapshot()
+    peak = snapshot["peak"].get(source, 0)
+    if limit is not None and peak > limit:
+        diagnostics.append(
+            error(
+                "EII506",
+                f"peak concurrency {peak} exceeded the limit {limit} for "
+                f"source {source!r}",
+                origin=origin,
+            )
+        )
+    if not limiter.drained():
+        leaked = {
+            name: count - snapshot["released"].get(name, 0)
+            for name, count in snapshot["acquired"].items()
+            if count != snapshot["released"].get(name, 0)
+        }
+        diagnostics.append(
+            error(
+                "EII506",
+                f"slot leak after the run: {leaked}",
+                hint="release slots in a finally: block so failures cannot "
+                "strand the semaphore",
+                origin=origin,
+            )
+        )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Scenario: gated prefetch pool
+# ---------------------------------------------------------------------------
+
+
+class _PrefetchGate:
+    """Blocks pool fetches on arrival; a controller releases them seeded."""
+
+    def __init__(self, seed: int, timeout: float = _DEFAULT_TIMEOUT):
+        self._cond = threading.Condition()
+        self._rng = random.Random(seed)
+        self._waiting: dict = {}  # ticket -> released?
+        self._next_ticket = 0
+        self._done = False
+        self._timeout = timeout
+        self.history: List[int] = []
+
+    def arrive_and_wait(self) -> None:
+        with self._cond:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            self._waiting[ticket] = False
+            self._cond.notify_all()
+            deadline = time.monotonic() + self._timeout
+            while not self._waiting[ticket] and not self._done:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return  # watchdog: never wedge the pool
+                self._cond.wait(min(remaining, 0.25))
+
+    def run_controller(self) -> None:
+        while True:
+            with self._cond:
+                while not self._done and not any(
+                    not released for released in self._waiting.values()
+                ):
+                    self._cond.wait(0.25)
+                if self._done:
+                    return
+                # brief grace so concurrent arrivals can join the draw —
+                # more arrivals, more adversarial orderings to pick from
+                self._cond.wait(0.01)
+                pending = [t for t, released in self._waiting.items() if not released]
+                if not pending:
+                    continue
+                chosen = self._rng.choice(sorted(pending))
+                self._waiting[chosen] = True
+                self.history.append(chosen)
+                self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._done = True
+            for ticket in self._waiting:
+                self._waiting[ticket] = True
+            self._cond.notify_all()
+
+
+def _observation(result) -> tuple:
+    rows = sorted(tuple(row) for row in result.relation.rows)
+    return rows, tuple(sorted(result.metrics.summary().items())), result.elapsed_seconds
+
+
+def fuzz_prefetch(
+    engine_factory: Callable[[], object],
+    sql: str,
+    seeds: Sequence[int] = (0, 1, 2, 3),
+    timeout: float = _DEFAULT_TIMEOUT,
+) -> List[Diagnostic]:
+    """Perturb the prefetch pool's fetch order across `seeds`; diff runs.
+
+    `engine_factory` must build a fresh, equivalently-configured engine
+    per call (shared state across runs would confound the differential).
+    Every perturbed run's rows, metrics summary and simulated elapsed
+    time must match the unperturbed oracle run; mismatches are EII505.
+    """
+    from repro.federation import engine as engine_module
+
+    oracle = _observation(engine_factory().query(sql))
+    diagnostics: List[Diagnostic] = []
+
+    for seed in seeds:
+        gate = _PrefetchGate(seed, timeout)
+        original_fetch = engine_module._FetchRuntime.fetch
+
+        def gated_fetch(self, node, *args, _gate=gate, _orig=original_fetch, **kwargs):
+            _gate.arrive_and_wait()
+            return _orig(self, node, *args, **kwargs)
+
+        controller = threading.Thread(target=gate.run_controller, daemon=True)
+        engine_module._FetchRuntime.fetch = gated_fetch
+        controller.start()
+        try:
+            observed = _observation(engine_factory().query(sql))
+        finally:
+            engine_module._FetchRuntime.fetch = original_fetch
+            gate.close()
+            controller.join(timeout)
+
+        origin = f"interleave[seed={seed}]"
+        if observed[0] != oracle[0]:
+            diagnostics.append(
+                error(
+                    "EII505",
+                    f"rows diverged from the serial oracle under release "
+                    f"order {gate.history}",
+                    origin=origin,
+                )
+            )
+        if observed[1] != oracle[1]:
+            delta = {
+                key: (dict(oracle[1]).get(key), dict(observed[1]).get(key))
+                for key in set(dict(oracle[1])) | set(dict(observed[1]))
+                if dict(oracle[1]).get(key) != dict(observed[1]).get(key)
+            }
+            diagnostics.append(
+                error(
+                    "EII505",
+                    f"metrics summary diverged from the serial oracle: "
+                    f"{delta}",
+                    hint="simulated accounting must be schedule-independent",
+                    origin=origin,
+                )
+            )
+        if abs(observed[2] - oracle[2]) > 1e-9:
+            diagnostics.append(
+                error(
+                    "EII505",
+                    f"simulated elapsed {observed[2]} != oracle {oracle[2]}",
+                    origin=origin,
+                )
+            )
+    return diagnostics

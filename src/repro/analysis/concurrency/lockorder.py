@@ -1,0 +1,349 @@
+"""Lock-acquisition-order lint (EII501): find potential deadlocks statically.
+
+The pass walks a python source tree (no imports — pure `ast`) and builds a
+*lock-acquisition-order graph*: a node per lock object the code declares
+(`self._lock = threading.Lock()`, `self._guard`, a semaphore handed around
+as a parameter, …) and an edge ``A -> B`` whenever the code acquires ``B``
+while already holding ``A`` — either directly (a nested ``with``) or
+through an intra-class/intra-module call chain (``put`` holds the lock and
+calls ``purge_expired`` which re-acquires it).
+
+A cycle in that graph is a potential deadlock: two threads entering the
+cycle from different edges can each hold one lock and wait forever on the
+other. Self-edges are reported only for locks the pass *knows* are
+non-reentrant (`threading.Lock` / `BoundedSemaphore` assignments); an
+RLock re-acquired by a callee is the reentrancy idiom, not a bug.
+
+Lock identity is lexical, ``ClassName.attr`` for ``self.<attr>`` and
+``ClassName.<var>`` for lock-named locals/parameters — deliberately
+object-insensitive: ordering violations between *instances* of the same
+class are one lint finding, not zero.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, SourceSpan, error
+
+#: identifiers treated as lock objects when used in `with X:` / `X.acquire()`
+_LOCKISH = re.compile(r"lock|guard|mutex|sema|latch", re.IGNORECASE)
+
+#: threading constructors whose result is a *non-reentrant* exclusion object
+_NON_REENTRANT = {"Lock", "BoundedSemaphore", "Semaphore"}
+_REENTRANT = {"RLock"}
+
+
+def _lock_name(node: ast.AST, class_name: str) -> Optional[str]:
+    """The graph-node name for a lock expression, or None when not a lock."""
+    if isinstance(node, ast.Attribute):
+        value = node.value
+        if isinstance(value, ast.Name) and value.id == "self":
+            if _LOCKISH.search(node.attr):
+                return f"{class_name or '<module>'}.{node.attr}"
+        return None
+    if isinstance(node, ast.Name) and _LOCKISH.search(node.id):
+        return f"{class_name or '<module>'}.{node.id}"
+    return None
+
+
+@dataclass
+class _Acquisition:
+    lock: str
+    line: int
+    col: int
+    #: locks already held (lexically) at this acquisition site
+    held: Tuple[str, ...]
+
+
+@dataclass
+class _FunctionInfo:
+    qualname: str
+    class_name: str
+    acquisitions: List[_Acquisition] = field(default_factory=list)
+    #: (callee qualname guess, held locks at the call site, line, col)
+    calls: List[Tuple[str, Tuple[str, ...], int, int]] = field(default_factory=list)
+
+
+@dataclass
+class LockEdge:
+    """One observed ordering: `held` was held while `acquired` was taken."""
+
+    held: str
+    acquired: str
+    origin: str
+    line: int
+    col: int
+    via: str  # the function whose body produced the edge
+
+
+class _ModuleScanner(ast.NodeVisitor):
+    """Collect per-function acquisition and call info for one module."""
+
+    def __init__(self, origin: str):
+        self.origin = origin
+        self.functions: Dict[str, _FunctionInfo] = {}
+        self.lock_kinds: Dict[str, str] = {}  # lock name -> "lock" | "rlock"
+        self._class_stack: List[str] = []
+        self._func_stack: List[_FunctionInfo] = []
+        self._held_stack: List[str] = []
+
+    # -- scope tracking ----------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _class_name(self) -> str:
+        return self._class_stack[-1] if self._class_stack else "<module>"
+
+    def _enter_function(self, node) -> None:
+        parent = self._func_stack[-1].qualname + "." if self._func_stack else (
+            self._class_name() + "." if self._class_stack else ""
+        )
+        info = _FunctionInfo(parent + node.name, self._class_name())
+        self.functions[info.qualname] = info
+        self._func_stack.append(info)
+        # lexical lock holds do not cross a function boundary
+        saved, self._held_stack = self._held_stack, []
+        for child in node.body:
+            self.visit(child)
+        self._held_stack = saved
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    # -- lock kinds --------------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        kind = self._constructed_kind(node.value)
+        if kind is not None:
+            for target in node.targets:
+                name = _lock_name(target, self._class_name())
+                if name is not None:
+                    self.lock_kinds[name] = kind
+        self.generic_visit(node)
+
+    @staticmethod
+    def _constructed_kind(value: ast.AST) -> Optional[str]:
+        if not isinstance(value, ast.Call):
+            return None
+        func = value.func
+        ctor = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if ctor in _NON_REENTRANT:
+            return "lock"
+        if ctor in _REENTRANT:
+            return "rlock"
+        return None
+
+    # -- acquisitions ------------------------------------------------------------
+
+    def _record_acquire(self, lock: str, node: ast.AST) -> None:
+        if self._func_stack:
+            self._func_stack[-1].acquisitions.append(
+                _Acquisition(lock, node.lineno, node.col_offset, tuple(self._held_stack))
+            )
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            target = expr.func if isinstance(expr, ast.Call) else expr
+            name = _lock_name(target, self._class_name())
+            if name is not None and not isinstance(expr, ast.Call):
+                # `with self._lock:` — a Call form (`with self.locked():`)
+                # is a factory, not the lock object itself
+                self._record_acquire(name, item.context_expr)
+                self._held_stack.append(name)
+                acquired.append(name)
+            else:
+                self.visit(expr)
+        for child in node.body:
+            self.visit(child)
+        for name in reversed(acquired):
+            # remove the most recent matching hold; bare `.acquire()` calls
+            # made inside the body stay held (conservative, no release
+            # tracking) so a positional pop would evict the wrong lock
+            for i in range(len(self._held_stack) - 1, -1, -1):
+                if self._held_stack[i] == name:
+                    del self._held_stack[i]
+                    break
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "acquire":
+            name = _lock_name(func.value, self._class_name())
+            if name is not None:
+                # a bare X.acquire(): held (conservatively) for the rest of
+                # the enclosing function — release tracking is out of scope
+                self._record_acquire(name, node)
+                self._held_stack.append(name)
+        # intra-class / intra-module call resolution for the closure pass
+        if self._func_stack:
+            callee = self._callee_guess(func)
+            if callee is not None:
+                self._func_stack[-1].calls.append(
+                    (callee, tuple(self._held_stack), node.lineno, node.col_offset)
+                )
+        self.generic_visit(node)
+
+    def _callee_guess(self, func: ast.AST) -> Optional[str]:
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                return f"{self._class_name()}.{func.attr}"
+            return None
+        if isinstance(func, ast.Name):
+            return func.id  # module-level function (resolved if scanned)
+        return None
+
+
+@dataclass
+class LockOrderGraph:
+    """The whole-workspace acquisition graph plus lock reentrancy info."""
+
+    edges: List[LockEdge] = field(default_factory=list)
+    lock_kinds: Dict[str, str] = field(default_factory=dict)
+
+    def adjacency(self) -> Dict[str, Set[str]]:
+        out: Dict[str, Set[str]] = {}
+        for edge in self.edges:
+            out.setdefault(edge.held, set()).add(edge.acquired)
+        return out
+
+
+def build_lock_graph(sources: List[Tuple[str, str]]) -> LockOrderGraph:
+    """Scan `(origin, source_text)` pairs into one acquisition-order graph."""
+    graph = LockOrderGraph()
+    all_functions: Dict[str, _FunctionInfo] = {}
+    per_module: List[Tuple[str, _ModuleScanner]] = []
+    for origin, text in sources:
+        try:
+            tree = ast.parse(text)
+        except SyntaxError:
+            continue  # not this pass's finding
+        scanner = _ModuleScanner(origin)
+        scanner.visit(tree)
+        graph.lock_kinds.update(scanner.lock_kinds)
+        all_functions.update(scanner.functions)
+        per_module.append((origin, scanner))
+
+    # Fixpoint: the set of locks each function may acquire, transitively
+    # through resolvable calls (bounded by the call-graph depth).
+    may_acquire: Dict[str, Set[str]] = {
+        name: {a.lock for a in info.acquisitions}
+        for name, info in all_functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, info in all_functions.items():
+            for callee, _held, _line, _col in info.calls:
+                target = may_acquire.get(callee)
+                if target and not target <= may_acquire[name]:
+                    may_acquire[name] |= target
+                    changed = True
+
+    for origin, scanner in per_module:
+        for info in scanner.functions.values():
+            for acq in info.acquisitions:
+                for held in acq.held:
+                    if held != acq.lock or graph.lock_kinds.get(acq.lock) == "lock":
+                        graph.edges.append(
+                            LockEdge(held, acq.lock, origin, acq.line, acq.col, info.qualname)
+                        )
+            for callee, held_locks, line, col in info.calls:
+                for inner in sorted(may_acquire.get(callee, ())):
+                    for held in held_locks:
+                        if inner == held and graph.lock_kinds.get(inner) != "lock":
+                            continue  # reentrant (or unknown) re-acquisition
+                        graph.edges.append(
+                            LockEdge(held, inner, origin, line, col, info.qualname)
+                        )
+    return graph
+
+
+def _cycles(adjacency: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components with ≥2 nodes, plus self-loops."""
+    index: Dict[str, int] = {}
+    lowlink: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    out: List[List[str]] = []
+    nodes = sorted(set(adjacency) | {m for vs in adjacency.values() for m in vs})
+
+    def strongconnect(v: str) -> None:
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(adjacency.get(v, ())):
+            if w not in index:
+                strongconnect(w)
+                lowlink[v] = min(lowlink[v], lowlink[w])
+            elif w in on_stack:
+                lowlink[v] = min(lowlink[v], index[w])
+        if lowlink[v] == index[v]:
+            component: List[str] = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1 or v in adjacency.get(v, ()):
+                out.append(sorted(component))
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return out
+
+
+def lint_lock_order(sources: List[Tuple[str, str]]) -> List[Diagnostic]:
+    """EII501 diagnostics for every lock-order cycle across `sources`."""
+    graph = build_lock_graph(sources)
+    adjacency = graph.adjacency()
+    diagnostics: List[Diagnostic] = []
+    for component in _cycles(adjacency):
+        members = set(component)
+        witnesses = [
+            e for e in graph.edges if e.held in members and e.acquired in members
+        ]
+        witness = min(witnesses, key=lambda e: (e.origin, e.line, e.col))
+        if len(component) == 1:
+            message = (
+                f"non-reentrant lock {component[0]} is re-acquired while "
+                f"already held (via {witness.via})"
+            )
+            hint = "use an RLock, or restructure so the callee never re-locks"
+        else:
+            ordering = " -> ".join(component + [component[0]])
+            message = f"lock-order cycle {ordering} (potential deadlock)"
+            hint = (
+                "impose one global acquisition order; witnesses: "
+                + "; ".join(
+                    f"{e.held} then {e.acquired} at {e.origin}:{e.line}"
+                    for e in witnesses[:4]
+                )
+            )
+        diagnostics.append(
+            error(
+                "EII501",
+                message,
+                span=SourceSpan(0, 1, witness.line, witness.col + 1),
+                hint=hint,
+                origin=witness.origin,
+            )
+        )
+    return diagnostics

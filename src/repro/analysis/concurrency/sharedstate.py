@@ -1,0 +1,365 @@
+"""Shared-state lint (EII502/EII503): cross-thread mutation discipline.
+
+Two sibling passes over each class of a module, again pure `ast`:
+
+**EII502 — unguarded shared-state write.** The pass first finds the
+*threaded* functions of a class: anything handed to a pool
+(``pool.submit(fn, ...)``, ``executor.submit(self.work)``) or a thread
+(``threading.Thread(target=fn)``), plus everything those functions call
+through ``self.`` within the class. An instance attribute that is written
+inside a threaded function *and* written in an ordinary (coordinator)
+method — with no common lock guarding both writes — is flagged: the two
+writers race. ``__init__`` writes are construction, not sharing, and are
+exempt.
+
+**EII503 — non-atomic check-then-act.** For attributes that the class
+does guard somewhere (any access under a ``with <lock>:``), an ``if``
+whose *test* reads the attribute (membership, ``.get``, truthiness,
+subscript) outside any lock while the taken branch *writes* it is the
+classic dropped-atomicity bug: the world can change between the check and
+the act, even when the act itself re-takes the lock.
+
+Resolution is intra-class by design (a ``self.x()`` call chain); the
+passes trade recall for a zero-false-positive contract on disciplined
+code — `python -m repro.analysis.concurrency --strict` must exit 0 on
+this repository.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, SourceSpan, error, warning
+
+from repro.analysis.concurrency.lockorder import _lock_name
+
+#: method calls that mutate their receiver container in place
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "move_to_end", "appendleft",
+}
+
+
+@dataclass
+class _WriteSite:
+    attr: str
+    function: str
+    held: Tuple[str, ...]
+    line: int
+    col: int
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    origin: str
+    lineno: int
+    writes: List[_WriteSite] = field(default_factory=list)
+    #: attr -> lines where it is accessed under at least one lock
+    guarded_attrs: Set[str] = field(default_factory=set)
+    #: functions submitted to pools/threads (entry points of worker code)
+    threaded_entries: Set[str] = field(default_factory=set)
+    #: intra-class call graph: function -> called self-methods
+    calls: Dict[str, Set[str]] = field(default_factory=dict)
+    #: check-then-act findings: (attr, function, line, col)
+    check_then_act: List[Tuple[str, str, int, int]] = field(default_factory=list)
+
+    def threaded_closure(self) -> Set[str]:
+        threaded = set(self.threaded_entries)
+        frontier = list(threaded)
+        while frontier:
+            current = frontier.pop()
+            for callee in self.calls.get(current, ()):
+                if callee not in threaded:
+                    threaded.add(callee)
+                    frontier.append(callee)
+        return threaded
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """`self.X` -> "X" (also through one subscript: `self.X[k]` -> "X")."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _attr_reads_in(test: ast.AST) -> Set[str]:
+    """Attributes of `self` the expression reads (membership/get/truth)."""
+    found: Set[str] = set()
+    for node in ast.walk(test):
+        attr = _self_attr(node)
+        if attr is not None:
+            found.add(attr)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = _self_attr(node.func.value)
+            if receiver is not None and node.func.attr in ("get", "keys", "values"):
+                found.add(receiver)
+    return found
+
+
+class _ClassScanner(ast.NodeVisitor):
+    """One class body: writes, guards, threaded entries, check-then-act."""
+
+    def __init__(self, info: _ClassInfo, class_name: str):
+        self.info = info
+        self.class_name = class_name
+        self._func_stack: List[str] = []
+        self._held_stack: List[str] = []
+
+    # -- scope -------------------------------------------------------------------
+
+    def _enter_function(self, node) -> None:
+        parent = self._func_stack[-1] + "." if self._func_stack else ""
+        self._func_stack.append(parent + node.name)
+        saved, self._held_stack = self._held_stack, []
+        for child in node.body:
+            self.visit(child)
+        self._held_stack = saved
+        self._func_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return  # nested classes get their own scanner
+
+    def _function(self) -> str:
+        return self._func_stack[-1] if self._func_stack else "<class body>"
+
+    # -- locks -------------------------------------------------------------------
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            name = (
+                _lock_name(expr, self.class_name)
+                if not isinstance(expr, ast.Call)
+                else None
+            )
+            if name is not None:
+                self._held_stack.append(name)
+                acquired.append(name)
+            else:
+                self.visit(expr)
+        for child in node.body:
+            self.visit(child)
+        for name in reversed(acquired):
+            for i in range(len(self._held_stack) - 1, -1, -1):
+                if self._held_stack[i] == name:
+                    del self._held_stack[i]
+                    break
+
+    # -- writes ------------------------------------------------------------------
+
+    def _record_write(self, attr: str, node: ast.AST) -> None:
+        self.info.writes.append(
+            _WriteSite(
+                attr,
+                self._function(),
+                tuple(self._held_stack),
+                node.lineno,
+                node.col_offset,
+            )
+        )
+        if self._held_stack:
+            self.info.guarded_attrs.add(attr)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                self._record_write(attr, node)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        attr = _self_attr(node.target)
+        if attr is not None:
+            self._record_write(attr, node)
+        self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                self._record_write(attr, node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            receiver = _self_attr(func.value)
+            if receiver is not None and func.attr in _MUTATORS:
+                self._record_write(receiver, node)
+            if receiver is not None and self._held_stack:
+                self.info.guarded_attrs.add(receiver)
+            # threaded entry points: pool.submit(fn, ...) / Thread(target=fn)
+            if func.attr == "submit" and node.args:
+                entry = self._entry_name(node.args[0])
+                if entry is not None:
+                    self.info.threaded_entries.add(entry)
+            # intra-class call graph
+            if isinstance(func.value, ast.Name) and func.value.id == "self":
+                self.info.calls.setdefault(self._function(), set()).add(func.attr)
+        if isinstance(func, ast.Name) and func.id == "Thread" or (
+            isinstance(func, ast.Attribute) and func.attr == "Thread"
+        ):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    entry = self._entry_name(keyword.value)
+                    if entry is not None:
+                        self.info.threaded_entries.add(entry)
+        self.generic_visit(node)
+
+    def _entry_name(self, node: ast.AST) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            # a local function defined inside the submitting method
+            return f"{self._function()}.{node.id}"
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    # -- check-then-act ----------------------------------------------------------
+
+    def visit_If(self, node: ast.If) -> None:
+        if not self._held_stack:
+            checked = _attr_reads_in(node.test)
+            if checked:
+                written = {
+                    attr
+                    for child in node.body
+                    for stmt in ast.walk(child)
+                    for attr in self._written_attrs(stmt)
+                }
+                for attr in sorted(checked & written):
+                    self.info.check_then_act.append(
+                        (attr, self._function(), node.lineno, node.col_offset)
+                    )
+        self.visit(node.test)
+        for child in node.body:
+            self.visit(child)
+        for child in node.orelse:
+            self.visit(child)
+
+    @staticmethod
+    def _written_attrs(node: ast.AST) -> Set[str]:
+        out: Set[str] = set()
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None and isinstance(target, ast.Subscript):
+                    out.add(attr)  # rebinding self.x wholesale is not CAS-like
+        elif isinstance(node, ast.AugAssign):
+            attr = _self_attr(node.target)
+            if attr is not None:
+                out.add(attr)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    out.add(attr)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            receiver = _self_attr(node.func.value)
+            if receiver is not None and node.func.attr in _MUTATORS:
+                out.add(receiver)
+        return out
+
+
+def _scan_module(origin: str, text: str) -> List[_ClassInfo]:
+    try:
+        tree = ast.parse(text)
+    except SyntaxError:
+        return []
+    out: List[_ClassInfo] = []
+
+    def walk_classes(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                info = _ClassInfo(child.name, origin, child.lineno)
+                scanner = _ClassScanner(info, child.name)
+                for stmt in child.body:
+                    scanner.visit(stmt)
+                out.append(info)
+                walk_classes(child)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk_classes(child)
+
+    walk_classes(tree)
+    return out
+
+
+def lint_shared_state(sources: List[Tuple[str, str]]) -> List[Diagnostic]:
+    """EII502/EII503 diagnostics over `(origin, source_text)` pairs."""
+    diagnostics: List[Diagnostic] = []
+    for origin, text in sources:
+        for info in _scan_module(origin, text):
+            diagnostics.extend(_lint_class(info))
+    return diagnostics
+
+
+def _lint_class(info: _ClassInfo) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    threaded = info.threaded_closure()
+    if threaded:
+        by_attr: Dict[str, List[_WriteSite]] = {}
+        for site in info.writes:
+            if site.function == "__init__":
+                continue
+            by_attr.setdefault(site.attr, []).append(site)
+        for attr in sorted(by_attr):
+            sites = by_attr[attr]
+            worker_sites = [
+                s for s in sites
+                if s.function in threaded
+                or any(s.function.startswith(t + ".") for t in threaded)
+            ]
+            coordinator_sites = [s for s in sites if s not in worker_sites]
+            for worker in worker_sites:
+                for coordinator in coordinator_sites:
+                    if set(worker.held) & set(coordinator.held):
+                        continue
+                    out.append(
+                        error(
+                            "EII502",
+                            f"{info.name}.{attr} is written by pool/thread "
+                            f"code ({worker.function}, line {worker.line}) and "
+                            f"by the coordinator ({coordinator.function}, line "
+                            f"{coordinator.line}) with no common lock",
+                            span=SourceSpan(0, 1, worker.line, worker.col + 1),
+                            hint="guard both writes with one lock, or funnel "
+                            "worker results through a merge on the "
+                            "coordinator thread",
+                            origin=info.origin,
+                        )
+                    )
+                    break  # one finding per attr per worker site
+    for attr, function, line, col in info.check_then_act:
+        if attr not in info.guarded_attrs:
+            continue  # never locked anywhere: single-threaded state
+        out.append(
+            warning(
+                "EII503",
+                f"check-then-act on {info.name}.{attr} in {function}: the "
+                f"test runs outside the lock that elsewhere guards it, so "
+                f"the state can change before the branch body acts",
+                span=SourceSpan(0, 1, line, col + 1),
+                hint="hold the guarding lock across the test and the "
+                "mutation (one `with` block)",
+                origin=info.origin,
+            )
+        )
+    return out

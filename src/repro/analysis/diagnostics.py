@@ -2,7 +2,8 @@
 
 Every pass produces `Diagnostic`s — a stable code (`EII1xx` semantic,
 `EII2xx` capability/binding, `EII3xx` mapping lint, `EII4xx` plan
-invariants), a severity, a best-effort source span and a fix hint —
+invariants, `EII5xx` concurrency correctness), a severity, a best-effort
+source span and a fix hint —
 aggregated into an `AnalysisReport`. Engines running with `validate=True`
 raise `AnalysisError` on any error-severity finding *before* a single byte
 is shipped; the attached `MetricsCollector` is the zero-byte proof.
@@ -61,6 +62,14 @@ CODES = {
     "EII403": "plan bookkeeping mismatch",
     "EII404": "incomplete dependency tags",
     "EII405": "degradable annotation on essential branch",
+    # EII5xx — concurrency correctness (repro.analysis.concurrency)
+    "EII501": "lock-order cycle (potential deadlock)",
+    "EII502": "unguarded shared-state write",
+    "EII503": "non-atomic check-then-act on guarded state",
+    "EII504": "lockset race (conflicting accesses share no lock)",
+    "EII505": "interleaving divergence from the serial oracle",
+    "EII506": "concurrency-slot leak (acquired slots never released)",
+    "EII507": "single-writer discipline violation",
 }
 
 

@@ -11,15 +11,20 @@ conflate two different statements: an attach against a key that is not
 currently in flight is a hard error, and a flight only ever completes the
 tokens attached under its own key.
 
-The registry is virtual-time bookkeeping for `repro.sched`'s workload
-scheduler (the netsim tradition: model the timeline, account the
-savings); it holds no relations and performs no I/O itself.
+The registry started as virtual-time bookkeeping for `repro.sched`'s
+workload scheduler (the netsim tradition: model the timeline, account the
+savings); it holds no relations and performs no I/O itself. It now also
+works under *real* threads: every mutation runs under one RLock, and the
+`begin_or_attach` / `finish` pair gives concurrent callers an atomic
+host-or-follower decision plus an `Event` the followers can block on —
+the protocol `repro.analysis.concurrency.interleave` stress-tests.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -32,6 +37,24 @@ class Flight:
     #: opaque follower tokens (the scheduler uses (query id, task) pairs);
     #: every token attached here waited on exactly this key's fetch
     attached: list = field(default_factory=list)
+    #: set once the host publishes its result; real-thread followers wait here
+    event: threading.Event = field(default_factory=threading.Event, repr=False)
+    result: object = None
+    error: Optional[BaseException] = None
+
+    def resolve(self, value, error: Optional[BaseException] = None) -> None:
+        """Publish the host's outcome and wake every waiting follower."""
+        self.result = value
+        self.error = error
+        self.event.set()
+
+    def wait(self, timeout: Optional[float] = None):
+        """Block until the host resolves; re-raise its error, if any."""
+        if not self.event.wait(timeout):
+            raise TimeoutError(f"flight {self.key!r} did not resolve in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
 
 
 @dataclass
@@ -44,27 +67,35 @@ class InFlightStats:
 
 
 class InFlightRegistry:
-    """Tracks fetches between their start and completion, by fetch key."""
+    """Tracks fetches between their start and completion, by fetch key.
+
+    Thread-safe: the lock is reentrant so instrumentation wrappers (the
+    race sanitizer) can nest registry calls without self-deadlocking.
+    """
 
     def __init__(self):
         self._flights: dict[tuple, Flight] = {}
         self.stats = InFlightStats()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._flights)
+        with self._lock:
+            return len(self._flights)
 
     def get(self, key: tuple) -> Optional[Flight]:
         """The in-flight fetch for `key`, or None when none is running."""
-        return self._flights.get(key)
+        with self._lock:
+            return self._flights.get(key)
 
     def begin(self, key: tuple, done_at: float, seconds: float = 0.0) -> Flight:
         """Register a fetch as in flight; `key` must not already be flying."""
-        if key in self._flights:
-            raise KeyError(f"fetch key {key!r} is already in flight")
-        flight = Flight(key, done_at, seconds)
-        self._flights[key] = flight
-        self.stats.started += 1
-        return flight
+        with self._lock:
+            if key in self._flights:
+                raise KeyError(f"fetch key {key!r} is already in flight")
+            flight = Flight(key, done_at, seconds)
+            self._flights[key] = flight
+            self.stats.started += 1
+            return flight
 
     def attach(self, key: tuple, token, seconds_saved: float = 0.0) -> Flight:
         """Coalesce `token` onto the in-flight fetch for exactly `key`.
@@ -72,13 +103,38 @@ class InFlightRegistry:
         Raises `KeyError` when no such flight exists — a follower must
         never be completed by a different statement's fetch.
         """
-        flight = self._flights[key]
-        assert flight.key == key, "registry invariant: flight keyed elsewhere"
-        flight.attached.append(token)
-        self.stats.coalesced += 1
-        self.stats.seconds_saved += seconds_saved
+        with self._lock:
+            flight = self._flights[key]
+            assert flight.key == key, "registry invariant: flight keyed elsewhere"
+            flight.attached.append(token)
+            self.stats.coalesced += 1
+            self.stats.seconds_saved += seconds_saved
+            return flight
+
+    def begin_or_attach(
+        self, key: tuple, token, done_at: float = 0.0, seconds: float = 0.0
+    ) -> Tuple[Flight, bool]:
+        """Atomic host-or-follower decision for real-thread single-flight.
+
+        Returns `(flight, is_host)`. Exactly one concurrent caller per key
+        becomes the host (`is_host=True`) and must eventually call
+        `finish`; every other caller is attached as a follower and should
+        block on `flight.wait()`. The check and the act share the lock —
+        the race the virtual-time `get`/`begin` pair cannot avoid.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                return self.begin(key, done_at, seconds), True
+            return self.attach(key, token, seconds_saved=seconds), False
+
+    def finish(self, key: tuple, value=None, error: Optional[BaseException] = None) -> Flight:
+        """Host-side completion: deregister the flight and wake followers."""
+        flight = self.complete(key)
+        flight.resolve(value, error)
         return flight
 
     def complete(self, key: tuple) -> Flight:
         """Finish the flight for `key`, returning it (with its followers)."""
-        return self._flights.pop(key)
+        with self._lock:
+            return self._flights.pop(key)

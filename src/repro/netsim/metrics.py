@@ -6,15 +6,28 @@ the benchmark harness reads to report bytes shipped, rows moved, per-source
 query counts and simulated elapsed time. The cache hierarchy reports its
 per-query telemetry (plan/fetch hits, work saved) through the same
 collector so EXPLAIN output and benchmarks see one coherent account.
+
+A `MetricsCollector` is **single-writer** by contract: it is not locked,
+so exactly one thread may mutate it. The federated engine honors this by
+giving each pool worker its own collector and merging on the coordinator
+after the pool drains. `bind_owner()` turns the contract into a checked
+assertion (debug-only; zero cost when unbound), and the race sanitizer
+(`repro.analysis.concurrency.sanitizer`) binds it automatically, turning
+a cross-thread write into an EII507 diagnostic instead of silent loss.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field, fields
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.netsim.network import NetworkModel, WireFormat
+
+#: when set (by the sanitizer), called with (collector, writer_thread)
+#: instead of raising — lets the checker report rather than crash
+_OWNER_VIOLATION_HOOK: Optional[Callable] = None
 
 
 @dataclass
@@ -66,6 +79,38 @@ class MetricsCollector:
     rejected_queries: int = 0
     deadline_misses: int = 0
 
+    def __post_init__(self):
+        # not a dataclass field on purpose: merge()/reset() iterate fields
+        # generically and must never sum or zero the owner binding
+        self.owner_thread: Optional[threading.Thread] = None
+
+    def bind_owner(self, thread: Optional[threading.Thread] = None) -> "MetricsCollector":
+        """Restrict mutation to `thread` (default: the calling thread).
+
+        Debug mode only — unbound collectors (the default) skip the check
+        entirely. Violations raise AssertionError, or report through
+        `_OWNER_VIOLATION_HOOK` when the race sanitizer is active.
+        """
+        self.owner_thread = thread if thread is not None else threading.current_thread()
+        return self
+
+    def unbind_owner(self) -> None:
+        self.owner_thread = None
+
+    def _check_owner(self) -> None:
+        owner = self.owner_thread
+        if owner is None or owner is threading.current_thread():
+            return
+        if _OWNER_VIOLATION_HOOK is not None:
+            _OWNER_VIOLATION_HOOK(self, threading.current_thread())
+            return
+        raise AssertionError(
+            f"MetricsCollector bound to {owner.name!r} mutated from "
+            f"{threading.current_thread().name!r}: collectors are "
+            "single-writer — give the worker its own collector and merge "
+            "on the coordinator"
+        )
+
     def record_transfer(
         self,
         src: str,
@@ -76,6 +121,7 @@ class MetricsCollector:
         description: str = "",
     ) -> float:
         """Charge one transfer and return its simulated duration."""
+        self._check_owner()
         seconds = self.network.transfer_seconds(src, dst, payload_bytes, wire_format)
         on_wire = self.network.wire_bytes(src, dst, payload_bytes, wire_format)
         self.transfers.append(
@@ -89,11 +135,13 @@ class MetricsCollector:
 
     def record_source_query(self, source: str, seconds: float = 0.0) -> None:
         """Count a component query against `source`, charging execution time."""
+        self._check_owner()
         self.source_queries[source] += 1
         self.simulated_seconds += seconds
 
     def charge_seconds(self, seconds: float) -> None:
         """Charge local (assembly-site) processing time."""
+        self._check_owner()
         self.simulated_seconds += seconds
 
     def total_source_queries(self) -> int:
@@ -107,6 +155,7 @@ class MetricsCollector:
         added to this dataclass is merged automatically instead of being
         silently dropped by a hand-copied field list.
         """
+        self._check_owner()
         for spec in fields(self):
             if spec.name == "network":
                 continue
@@ -126,6 +175,7 @@ class MetricsCollector:
         counter added to this dataclass is reset automatically rather than
         silently surviving across runs.
         """
+        self._check_owner()
         for spec in fields(self):
             if spec.name == "network":
                 continue

@@ -22,7 +22,13 @@ from typing import Optional
 
 
 class SourceLimiter:
-    """Named counting semaphores with peak-concurrency instrumentation."""
+    """Named counting semaphores with peak-concurrency instrumentation.
+
+    Every instrumentation counter (`_in_flight`, `peak`, `acquired`,
+    `released`) is read and written only under `_guard` — pool threads hit
+    these paths concurrently, and an unguarded `dict[name] += 1` is a
+    lost-update race the concurrency lint (EII502) would rightly flag.
+    """
 
     def __init__(self, limits: Optional[dict] = None, default: Optional[int] = None):
         """`limits` maps source name -> max concurrent calls; `default`
@@ -34,6 +40,10 @@ class SourceLimiter:
         self._in_flight: dict[str, int] = {}
         #: highest concurrency ever observed per source (for assertions)
         self.peak: dict[str, int] = {}
+        #: cumulative slot acquisitions / releases per source; `drained()`
+        #: compares the two so the sanitizer can prove no slot leaked
+        self.acquired: dict[str, int] = {}
+        self.released: dict[str, int] = {}
 
     def limit_for(self, source_name: str) -> Optional[int]:
         return self.limits.get(source_name.lower(), self.default)
@@ -60,9 +70,34 @@ class SourceLimiter:
             count = self._in_flight.get(name, 0) + 1
             self._in_flight[name] = count
             self.peak[name] = max(self.peak.get(name, 0), count)
+            self.acquired[name] = self.acquired.get(name, 0) + 1
         try:
             yield
         finally:
             with self._guard:
                 self._in_flight[name] -= 1
+                self.released[name] = self.released.get(name, 0) + 1
             semaphore.release()
+
+    def in_flight(self, source_name: str) -> int:
+        """Current slot holders for `source_name` (guarded read)."""
+        with self._guard:
+            return self._in_flight.get(source_name.lower(), 0)
+
+    def drained(self) -> bool:
+        """True when every acquired slot has been released."""
+        with self._guard:
+            return all(
+                self.released.get(name, 0) == count
+                for name, count in self.acquired.items()
+            )
+
+    def snapshot(self) -> dict:
+        """Consistent copy of all counters, for assertions and telemetry."""
+        with self._guard:
+            return {
+                "in_flight": dict(self._in_flight),
+                "peak": dict(self.peak),
+                "acquired": dict(self.acquired),
+                "released": dict(self.released),
+            }

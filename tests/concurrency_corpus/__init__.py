@@ -1,0 +1,22 @@
+"""Seeded concurrency-bug corpus: every detector must catch its bug.
+
+Each module here plants one *known* defect class from the EII5xx table:
+
+==================  =======  ==============================================
+module              code     defect
+==================  =======  ==============================================
+bug_lock_cycle      EII501   two locks acquired in opposite orders
+bug_unguarded       EII502   pool thread and coordinator write, no lock
+bug_check_then_act  EII503   unlocked membership test before guarded store
+dynamic_bugs        EII504   counter incremented lock-free from two threads
+dynamic_bugs        EII505   registry resolving followers with a stale value
+dynamic_bugs        EII506   limiter slot without try/finally (leak on error)
+dynamic_bugs        EII507   pool thread mutating the coordinator's metrics
+==================  =======  ==============================================
+
+The static modules (`bug_*`) are **linted, never imported** by the tests
+— they are source-text fixtures. The dynamic module is imported and run
+under the sanitizer / fuzzer. `bench_a09_concurrency_lint.py` sweeps the
+whole corpus and requires zero false negatives, and zero findings on the
+shipped `src/repro` tree.
+"""

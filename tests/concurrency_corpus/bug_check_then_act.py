@@ -1,0 +1,25 @@
+"""Seeded defect: EII503 — membership test outside the lock that guards.
+
+`register` checks `self._entries` *before* taking `self._lock`, then
+stores under the lock: two racers both pass the test and the second
+silently overwrites the first. Lint fixture only; nothing imports it.
+"""
+
+import threading
+
+
+class Registrar:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries = {}
+
+    def register(self, key, value):
+        if key not in self._entries:
+            with self._lock:
+                self._entries[key] = value
+                return True
+        return False
+
+    def lookup(self, key):
+        with self._lock:
+            return self._entries.get(key)

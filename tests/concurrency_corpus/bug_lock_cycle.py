@@ -1,0 +1,29 @@
+"""Seeded defect: EII501 — classic AB/BA lock-order cycle.
+
+`transfer` locks accounts then audit; `reconcile` locks audit then
+accounts. Two threads entering one function each deadlock. This module
+is a lint fixture only; nothing imports it.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts_lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+        self.balances = {}
+        self.journal = []
+
+    def transfer(self, src, dst, amount):
+        with self._accounts_lock:
+            self.balances[src] = self.balances.get(src, 0) - amount
+            self.balances[dst] = self.balances.get(dst, 0) + amount
+            with self._audit_lock:
+                self.journal.append((src, dst, amount))
+
+    def reconcile(self):
+        with self._audit_lock:
+            entries = list(self.journal)
+            with self._accounts_lock:
+                return sum(self.balances.values()), len(entries)

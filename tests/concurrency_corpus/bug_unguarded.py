@@ -1,0 +1,31 @@
+"""Seeded defect: EII502 — pool and coordinator write the same attr bare.
+
+`crawl` submits `_fetch_one` to a pool; the worker appends to
+`self.results` and bumps `self.fetched` with no lock, while the
+coordinator's `reset_window` reassigns both — concurrent lost updates.
+Lint fixture only; nothing imports it.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class Crawler:
+    def __init__(self, urls):
+        self.urls = urls
+        self.results = []
+        self.fetched = 0
+
+    def _fetch_one(self, url):
+        payload = ("GET", url)
+        self.results.append(payload)
+        self.fetched += 1
+        return payload
+
+    def crawl(self):
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(self._fetch_one, url) for url in self.urls]
+        return [future.result() for future in futures]
+
+    def reset_window(self):
+        self.fetched = 0
+        self.results.clear()

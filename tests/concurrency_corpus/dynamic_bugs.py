@@ -1,0 +1,96 @@
+"""Seeded dynamic defects: EII504/EII505/EII506/EII507 trigger material.
+
+Unlike the `bug_*` lint fixtures these classes are *run* — under the
+race sanitizer or the interleaving fuzzer — so each bug is written to be
+observable at schedule-point granularity, not dependent on a lucky
+preemption:
+
+* `RacyCounter` — no lock at all; two threads instrumented via
+  `instrument_method` produce an empty lockset intersection (EII504).
+* `LossyRegistry` — an `InFlightRegistry` whose `finish` resolves the
+  followers with `None` instead of the host's value; every follower in a
+  coalescing scenario observes a wrong result (EII505).
+* `LeakyLimiter` — a `SourceLimiter` whose slot forgets `try/finally`;
+  any exception inside the slot strands the semaphore (EII506).
+* `rogue_metrics_write` — a worker thread charging the coordinator's
+  bound `MetricsCollector` directly (EII507).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.cache.inflight import InFlightRegistry
+from repro.sched.limits import SourceLimiter
+
+
+class RacyCounter:
+    """Increments with no guard: the textbook lockset race."""
+
+    def __init__(self):
+        self.value = 0
+
+    def increment(self, rounds: int = 1) -> None:
+        for _ in range(rounds):
+            self.value += 1
+
+
+def race_increments(counter: RacyCounter, n_threads: int = 2, rounds: int = 100) -> None:
+    """Drive `counter.increment` from `n_threads` with overlapping lifetimes.
+
+    The exit barrier keeps every thread alive until all have accessed, so
+    the sanitizer's join-fence can never order the accesses after the
+    fact — the overlap (and the EII504 report) is deterministic.
+    """
+    enter = threading.Barrier(n_threads)
+    leave = threading.Barrier(n_threads)
+
+    def worker():
+        enter.wait(10)
+        counter.increment(rounds)
+        leave.wait(10)
+
+    threads = [threading.Thread(target=worker, daemon=True) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10)
+
+
+class LossyRegistry(InFlightRegistry):
+    """Resolves followers with a stale None instead of the host's value."""
+
+    def finish(self, key, value=None, error=None):
+        flight = self.complete(key)
+        flight.resolve(None, error)  # bug: drops the fetched value
+        return flight
+
+
+class LeakyLimiter(SourceLimiter):
+    """Releases the slot only on the happy path: failures leak it."""
+
+    @contextmanager
+    def _slot(self, name, semaphore):
+        semaphore.acquire()
+        with self._guard:
+            count = self._in_flight.get(name, 0) + 1
+            self._in_flight[name] = count
+            self.peak[name] = max(self.peak.get(name, 0), count)
+            self.acquired[name] = self.acquired.get(name, 0) + 1
+        yield  # bug: no try/finally — an exception skips everything below
+        with self._guard:
+            self._in_flight[name] -= 1
+            self.released[name] = self.released.get(name, 0) + 1
+        semaphore.release()
+
+
+def rogue_metrics_write(collector) -> threading.Thread:
+    """Start a worker that mutates the coordinator's collector directly."""
+
+    def worker():
+        collector.charge_seconds(1.0)  # bug: belongs on a local + merge
+
+    thread = threading.Thread(target=worker, name="rogue-writer")
+    thread.start()
+    return thread

@@ -1,9 +1,57 @@
-"""Shared fixtures: a small deterministic enterprise database."""
+"""Shared fixtures: a small deterministic enterprise database.
+
+Also wires the opt-in `--race-sanitize` mode: when passed, every test
+runs inside a `repro.analysis.concurrency.sanitize()` window and fails
+if the lockset race sanitizer reports any EII5xx diagnostic the test
+itself did not seed on purpose (corpus tests opt out via the
+`race_sanitize_exempt` marker).
+"""
 
 import pytest
 
 from repro.common.types import DataType as T
 from repro.storage import Database
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--race-sanitize",
+        action="store_true",
+        default=False,
+        help="run every test inside the lockset race sanitizer window "
+        "and fail on any EII5xx finding",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "race_sanitize_exempt: skip the --race-sanitize wrapper for tests "
+        "that deliberately seed concurrency bugs",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _race_sanitizer(request):
+    if not request.config.getoption("--race-sanitize"):
+        yield
+        return
+    if request.node.get_closest_marker("race_sanitize_exempt"):
+        yield
+        return
+    from repro.analysis.concurrency import sanitize
+    from repro.analysis.concurrency.sanitizer import active
+
+    if active() is not None:  # already inside a window (nested fixtures)
+        yield
+        return
+    with sanitize() as sanitizer:
+        yield
+    if not sanitizer.report.ok or sanitizer.report.diagnostics:
+        pytest.fail(
+            "race sanitizer findings:\n" + sanitizer.report.render(),
+            pytrace=False,
+        )
 
 
 def build_demo_db() -> Database:

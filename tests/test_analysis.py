@@ -79,7 +79,7 @@ class TestDiagnosticsCore:
 
     def test_all_code_families_registered(self):
         families = {code[:4] for code in CODES}
-        assert families == {"EII1", "EII2", "EII3", "EII4"}
+        assert families == {"EII1", "EII2", "EII3", "EII4", "EII5"}
 
 
 # ---------------------------------------------------------------------------
