@@ -87,6 +87,22 @@ def test_a03_cache_hierarchy(benchmark, record_experiment):
             "100-query weighted dashboard mix; fetch stats: "
             f"{warm_cache.fetches.stats.summary()}"
         ),
+        metrics={
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "full_s": round(full_s, 6),
+            "inval_s": round(inval_s, 6),
+            "warm_speedup": round(cold_s / warm_s, 4),
+            "warm_plan_hits": warm_plan_hits,
+            "warm_fetch_hits": warm_fetch_hits,
+            "full_result_hits": full_result_hits,
+        },
+        gates={
+            "warm_speedup_5x": ("warm_speedup", ">=", 5.0),
+            "all_plans_cached": ("warm_plan_hits", "==", 100),
+            "result_level_serves_all": ("full_result_hits", "==", 100),
+        },
+        headline={"metric": "warm_speedup", "direction": "up"},
     )
 
     # The warm phase must beat cold by >= 5x with both levels reported.

@@ -148,6 +148,29 @@ def test_a04_fault_tolerance(benchmark, record_experiment):
             f"crm+sales, hard outage of support, seed={SEED}; breakers after "
             f"the full run: {full.resilience.breaker_states()}"
         ),
+        metrics={
+            "naive_errors": naive_stats["error"],
+            "retry_full": retry_stats["full"],
+            "full_answers": full_stats["full"],
+            "full_partials": full_stats["partial"],
+            "full_errors": full_stats["error"],
+            "full_availability": round(
+                (full_stats["full"] + full_stats["partial"]) / total, 4
+            ),
+            "silently_wrong": (
+                naive_stats["silently_wrong"]
+                + retry_stats["silently_wrong"]
+                + full_stats["silently_wrong"]
+            ),
+            "full_latency_s": round(full_latency, 6),
+        },
+        gates={
+            "hostile_schedule": ("naive_errors", ">=", total // 2),
+            "full_answers_95pct": ("full_answers", ">=", round(0.95 * total)),
+            "no_errors_full_stack": ("full_errors", "==", 0),
+            "nothing_silently_wrong": ("silently_wrong", "==", 0),
+        },
+        headline={"metric": "full_availability", "direction": "up"},
     )
 
     # The schedule is genuinely hostile: the naive engine loses the majority.

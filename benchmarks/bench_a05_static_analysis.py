@@ -121,6 +121,29 @@ def test_a05_static_analysis(benchmark, record_experiment):
             "defect: "
             + ", ".join(f"{name} -> {code}" for name, code, _ in DEFECTS)
         ),
+        metrics={
+            "defects_rejected": sum(
+                1
+                for name, code, _ in DEFECTS
+                if outcomes[(name, "validated")][0] == f"rejected {code}"
+            ),
+            "defects_total": len(DEFECTS),
+            "validated_wasted_bytes": sum(
+                outcomes[(name, "validated")][1] for name, _, _ in DEFECTS
+            ),
+            "validated_wasted_retries": sum(
+                outcomes[(name, "validated")][2] for name, _, _ in DEFECTS
+            ),
+            "naive_wasted_bytes": sum(
+                outcomes[(name, "naive")][1] for name, _, _ in DEFECTS
+            ),
+        },
+        gates={
+            "all_defects_rejected": ("defects_rejected", "==", len(DEFECTS)),
+            "zero_bytes_shipped": ("validated_wasted_bytes", "==", 0),
+            "zero_retries_burned": ("validated_wasted_retries", "==", 0),
+        },
+        headline={"metric": "defects_rejected", "direction": "up"},
     )
 
     # The validated engine: every defect rejected before execution, with a

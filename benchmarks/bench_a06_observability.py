@@ -101,6 +101,19 @@ def test_a06_observability(benchmark, record_experiment):
             f"LatencySpike(+{SPIKE_S}s) on every support call, seed={SEED}; "
             f"support share={100.0 * support_share:.1f}%"
         ),
+        metrics={
+            "support_share": round(support_share, 4),
+            "support_p50_s": round(support.summary()["p50_s"], 6),
+            "support_p95_s": round(support.summary()["p95_s"], 6),
+            "others_p95_s": round(others_p95, 6),
+            "support_fetches": support.fetches,
+            "queries": total_queries,
+        },
+        gates={
+            "straggler_blamed": ("support_share", ">=", 0.90),
+            "spike_visible_p50": ("support_p50_s", ">=", SPIKE_S),
+        },
+        headline={"metric": "support_share", "direction": "up"},
     )
 
     # (a) blame lands on the straggler, overwhelmingly

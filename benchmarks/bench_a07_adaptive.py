@@ -173,6 +173,24 @@ def test_a07_adaptive(benchmark, record_experiment):
             f"{cold_q2.replan is not None}, warm Q2 replanned="
             f"{warm_q2.replan is not None}"
         ),
+        metrics={
+            "static_s": round(totals["static"], 6),
+            "feedback_s": round(totals["feedback"], 6),
+            "feedback_lpt_s": round(totals["feedback+lpt"], 6),
+            "speedup": round(speedup, 4),
+            "cold_q2_replans": cold_q2.metrics.replans,
+            "warm_q2_replans": warm_q2.metrics.replans,
+            "lpt_reorders": sum(
+                r.metrics.lpt_reorders for r in engines["feedback+lpt"][1]
+            ),
+        },
+        gates={
+            "adaptive_speedup_1_5x": ("speedup", ">=", 1.5),
+            "cold_run_replanned": ("cold_q2_replans", "==", 1),
+            "warm_run_calibrated": ("warm_q2_replans", "==", 0),
+            "lpt_engaged": ("lpt_reorders", ">=", 1),
+        },
+        headline={"metric": "speedup", "direction": "up"},
     )
 
     # The headline claim: adaptive execution pays off >=1.5x.

@@ -114,6 +114,23 @@ def test_a08_concurrency(benchmark, enterprise, record_experiment):
             f"(weights 4/2/1); win(wfq+coalesce)={win:.2f}x; serial-equivalent "
             f"work {concurrent.serial_s:.2f}s"
         ),
+        metrics={
+            "serial_makespan_s": round(serial.makespan_s, 6),
+            "wfq_makespan_s": round(concurrent.makespan_s, 6),
+            "win": round(win, 4),
+            "coalesced_fetches": concurrent.metrics.coalesced_fetches,
+            "p95_dashboard_wait_s": round(p95_wait(concurrent, "dashboard"), 6),
+            "p95_batch_wait_s": round(p95_wait(concurrent, "batch"), 6),
+            "dropped": (
+                concurrent.summary()["shed"] + concurrent.summary()["rejected"]
+            ),
+        },
+        gates={
+            "concurrency_win_1_3x": ("win", ">=", 1.3),
+            "coalescing_engaged": ("coalesced_fetches", ">=", 1),
+            "nothing_dropped": ("dropped", "==", 0),
+        },
+        headline={"metric": "win", "direction": "up"},
     )
 
     # The headline claim: concurrency pays off >=1.3x on makespan.

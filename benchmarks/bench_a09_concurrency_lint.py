@@ -185,6 +185,21 @@ def test_a09_concurrency_lint(benchmark, record_experiment):
             "deterministic; acceptance classes: cycle, unguarded write, "
             "check-then-act, lockset race, divergence, slot leak"
         ),
+        metrics={
+            "defects_detected": len(DEFECTS) - len(misses),
+            "defects_total": len(DEFECTS),
+            "false_negatives": len(misses),
+            "shipped_findings": len(shipped.diagnostics),
+            "control_findings": sum(
+                len(d) for d in control_findings.values()
+            ),
+        },
+        gates={
+            "zero_false_negatives": ("false_negatives", "==", 0),
+            "shipped_tree_clean": ("shipped_findings", "==", 0),
+            "controls_silent": ("control_findings", "==", 0),
+        },
+        headline={"metric": "defects_detected", "direction": "up"},
     )
 
     # Zero false negatives: every seeded defect found with its code.

@@ -1,0 +1,109 @@
+"""Compare fresh bench results against committed baselines.
+
+Every `bench_aNN_*.py` that passes ``metrics=`` to `record_experiment`
+writes a machine-readable ``results/aNN.json``; pristine copies of those
+live under ``benchmarks/baselines/``. This checker is what CI's
+`bench-regression` job runs after regenerating the results:
+
+* a **missing** fresh result for a baselined experiment fails (the bench
+  stopped reporting — silent coverage loss);
+* a **failed gate** in a fresh result fails (the bench's own acceptance
+  bar, re-evaluated on today's numbers);
+* a **headline regression** fails: each JSON declares its headline
+  metric and direction (``up`` = bigger is better); a fresh value more
+  than ``--tolerance`` (default 20%) worse than baseline is a regression.
+  Improvements are reported but never fail.
+
+Usage::
+
+    python benchmarks/check_regression.py [--tolerance 0.20]
+        [--results benchmarks/results] [--baselines benchmarks/baselines]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+
+
+def load(path: pathlib.Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def headline_delta(baseline: dict, fresh: dict) -> tuple:
+    """(metric, base_value, fresh_value, relative_change_toward_worse)."""
+    headline = baseline.get("headline") or fresh.get("headline")
+    if not headline:
+        return ("", 0.0, 0.0, 0.0)
+    metric = headline["metric"]
+    direction = headline.get("direction", "up")
+    base = float(baseline["metrics"][metric])
+    new = float(fresh["metrics"][metric])
+    if base == 0.0:
+        return (metric, base, new, 0.0)
+    change = (new - base) / abs(base)
+    worse = -change if direction == "up" else change
+    return (metric, base, new, worse)
+
+
+def check(results_dir: pathlib.Path, baselines_dir: pathlib.Path, tolerance: float) -> int:
+    failures = []
+    lines = []
+    baselines = sorted(baselines_dir.glob("a*.json"))
+    if not baselines:
+        print(f"no baselines under {baselines_dir}", file=sys.stderr)
+        return 2
+    for base_path in baselines:
+        name = base_path.name
+        fresh_path = results_dir / name
+        baseline = load(base_path)
+        if not fresh_path.exists():
+            failures.append(f"{name}: no fresh result (bench stopped reporting?)")
+            continue
+        fresh = load(fresh_path)
+        gate_failures = [
+            gate for gate, info in (fresh.get("gates") or {}).items()
+            if not info["pass"]
+        ]
+        if gate_failures:
+            failures.append(f"{name}: gates failed: {', '.join(sorted(gate_failures))}")
+        metric, base, new, worse = headline_delta(baseline, fresh)
+        verdict = "ok"
+        if metric and worse > tolerance:
+            failures.append(
+                f"{name}: headline {metric} regressed "
+                f"{100.0 * worse:.1f}% ({base:g} -> {new:g})"
+            )
+            verdict = "REGRESSED"
+        elif metric and worse < -tolerance:
+            verdict = "improved"
+        lines.append(
+            f"  {name:10s} {metric or '-':22s} "
+            f"{base:>12g} -> {new:>12g}  {verdict}"
+        )
+    print(f"bench regression check (tolerance {100.0 * tolerance:.0f}%):")
+    print("\n".join(lines))
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baselines)} baselined experiments within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--results", type=pathlib.Path, default=HERE / "results")
+    parser.add_argument("--baselines", type=pathlib.Path, default=HERE / "baselines")
+    args = parser.parse_args(argv)
+    return check(args.results, args.baselines, args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ the trend, where the crossover falls) and feeds a representative kernel to
 pytest-benchmark for timing.
 """
 
+import json
 import pathlib
 
 import pytest
@@ -28,15 +29,73 @@ def results_dir():
     return RESULTS_DIR
 
 
+def _evaluate_gate(value, op, threshold):
+    if op == ">=":
+        return value >= threshold
+    if op == "<=":
+        return value <= threshold
+    if op == ">":
+        return value > threshold
+    if op == "<":
+        return value < threshold
+    if op == "==":
+        return value == threshold
+    raise ValueError(f"unsupported gate op {op!r}")
+
+
 @pytest.fixture
 def record_experiment(results_dir):
-    """Print an experiment table and persist it under benchmarks/results/."""
+    """Print an experiment table and persist it under benchmarks/results/.
+
+    Alongside the human-readable ``results/<id>.txt``, benches that pass
+    ``metrics`` (a flat name → number dict) get a machine-readable
+    ``results/<id>.json`` with the same schema the regression checker
+    (`benchmarks/check_regression.py`) and CI consume:
+
+    * ``metrics`` — the headline numbers of the run;
+    * ``gates`` — named pass/fail assertions ``(metric, op, threshold)``,
+      each evaluated here so the JSON records both the value and verdict;
+    * ``headline`` — which metric regressions are judged on, and whether
+      bigger is better (``direction: "up" | "down"``).
+    """
     from repro.bench.harness import print_experiment
 
-    def record(experiment_id, claim, headers, rows, notes=""):
+    def record(
+        experiment_id,
+        claim,
+        headers,
+        rows,
+        notes="",
+        metrics=None,
+        gates=None,
+        headline=None,
+    ):
         text = print_experiment(experiment_id, claim, headers, rows, notes)
         path = results_dir / f"{experiment_id.lower()}.txt"
         path.write_text(text + "\n")
+        if metrics is not None:
+            gate_results = {}
+            for name, (metric, op, threshold) in (gates or {}).items():
+                value = metrics[metric]
+                gate_results[name] = {
+                    "metric": metric,
+                    "value": value,
+                    "op": op,
+                    "threshold": threshold,
+                    "pass": _evaluate_gate(value, op, threshold),
+                }
+            payload = {
+                "name": experiment_id.lower(),
+                "claim": claim,
+                "metrics": {k: metrics[k] for k in sorted(metrics)},
+                "headline": headline,
+                "gates": gate_results,
+                "pass": all(g["pass"] for g in gate_results.values()),
+            }
+            json_path = results_dir / f"{experiment_id.lower()}.json"
+            json_path.write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
         return text
 
     return record

@@ -47,6 +47,7 @@ from repro.netsim.network import NetworkModel
 from repro.sql.ast import Select, UnionSelect
 from repro.sql.printer import to_sql
 from repro.storage.catalog import Database
+from repro.telemetry.plane import resolve_telemetry
 from repro.trace import NULL_TRACER, Tracer, explain_analyze, instrument_physical
 
 #: Simulated seconds per local cost unit at the assembly site.
@@ -317,6 +318,7 @@ class _FetchRuntime:
         collector = metrics if metrics is not None else self.metrics
         if span is not None:
             span.clock_base = collector.simulated_seconds
+        telemetry = self.engine.telemetry
         key = fetch_key(node.source.name, node.stmt) if self._store is not None else None
         if key is not None:
             entry = self.engine.cache.get_fetch(key)
@@ -324,6 +326,8 @@ class _FetchRuntime:
                 collector.fetch_cache_hits += 1
                 collector.cache_seconds_saved += entry.cost_seconds
                 collector.cache_bytes_saved += entry.size_bytes
+                if telemetry.enabled:
+                    telemetry.on_fetch(node.source.name, cache="hit")
                 if span is not None:
                     span.set(cache="hit")
                     span.event(
@@ -351,16 +355,28 @@ class _FetchRuntime:
             collector.fetch_cache_misses += 1
             if span is not None:
                 span.set(cache="miss")
+            if telemetry.enabled:
+                telemetry.on_fetch(node.source.name, cache="miss")
         try:
             raw, cost_seconds, source_used, _ = self._remote_fetch(
                 node, node.stmt, collector, f"fetch from {node.source.name}", span
             )
         except EIIError as exc:
+            if telemetry.enabled and self.engine.resilience is None:
+                # with a resilience manager, per-attempt failures are
+                # already reported through its own hooks
+                telemetry.on_fetch(node.source.name, ok=False)
             if self._degrade(node, exc, collector, "fetch", span):
                 result = Relation(node.schema, [])
                 self.local[id(node)] = result
                 return result
             raise
+        if telemetry.enabled:
+            telemetry.on_fetch(
+                source_used.name,
+                seconds=cost_seconds,
+                payload_bytes=raw.size_bytes(),
+            )
         # Only a primary-served fetch is cached: the entry's key and tags
         # describe the primary, and a replica answer must not mask it.
         if key is not None and source_used is node.source:
@@ -389,6 +405,7 @@ class _FetchRuntime:
             return Relation(node.fetch_schema, [])
         rows: list[tuple] = []
         tag = getattr(node, "_trace_tag", None)
+        telemetry = self.engine.telemetry
         for chunk_index, start in enumerate(range(0, len(keys), node.max_inlist)):
             chunk = keys[start : start + node.max_inlist]
             stmt = with_in_filter(node.template, node.right_key, chunk)
@@ -420,6 +437,8 @@ class _FetchRuntime:
                         self.metrics.fetch_cache_hits += 1
                         self.metrics.cache_seconds_saved += entry.cost_seconds
                         self.metrics.cache_bytes_saved += entry.size_bytes
+                        if telemetry.enabled:
+                            telemetry.on_fetch(node.source.name, cache="hit")
                         if span is not None:
                             span.set(cache="hit")
                             span.event(
@@ -444,15 +463,25 @@ class _FetchRuntime:
                     self.metrics.fetch_cache_misses += 1
                     if span is not None:
                         span.set(cache="miss")
+                    if telemetry.enabled:
+                        telemetry.on_fetch(node.source.name, cache="miss")
                 description = f"bind fetch from {node.source.name} ({len(chunk)} keys)"
                 try:
                     raw, cost_seconds, source_used, _ = self._remote_fetch(
                         node, stmt, self.metrics, description, span
                     )
                 except EIIError as exc:
+                    if telemetry.enabled and self.engine.resilience is None:
+                        telemetry.on_fetch(node.source.name, ok=False)
                     if self._degrade(node, exc, self.metrics, "bind_chunk", span):
                         continue  # this chunk's enrichments are lost, not the query
                     raise
+                if telemetry.enabled:
+                    telemetry.on_fetch(
+                        source_used.name,
+                        seconds=cost_seconds,
+                        payload_bytes=raw.size_bytes(),
+                    )
                 if key is not None and source_used is node.source:
                     self.engine.cache.put_fetch(
                         key, raw, tags=node.depends_on, cost_seconds=cost_seconds
@@ -502,6 +531,7 @@ class FederatedEngine:
         tracer=None,
         adaptive=None,
         source_limiter=None,
+        telemetry=None,
     ):
         self.catalog = catalog
         self.network = network or NetworkModel()
@@ -565,6 +595,17 @@ class FederatedEngine:
         self._local = LocalEngine(self._scratch, optimize=False)
         self.tracer = NULL_TRACER
         self.set_tracer(tracer)
+        #: observe-only telemetry plane; the no-op default keeps execution
+        #: byte-identical to an engine without telemetry (same contract as
+        #: `NULL_TRACER` — every call site guards on ``telemetry.enabled``)
+        self.telemetry = resolve_telemetry(telemetry)
+        if self.telemetry.enabled:
+            if self.telemetry.clock is None:
+                # windows roll on the engine's (usually simulated) clock
+                self.telemetry.clock = clock
+                self.telemetry.series.clock = clock
+            if self.resilience is not None:
+                self.resilience.attach_telemetry(self.telemetry)
 
     @staticmethod
     def _resolve_adaptive(adaptive):
@@ -637,6 +678,9 @@ class FederatedEngine:
                     trace.root.event("cache.result_hit")
                     tracer.finish(trace)
                     result.trace = trace
+                if self.telemetry.enabled:
+                    self.telemetry.on_query("cached", rows=len(hit.relation))
+                    self.telemetry.tick(self.clock())
                 return result
         if trace is not None:
             trace.root.child("parse", category="parse", sql=canonical)
@@ -660,7 +704,13 @@ class FederatedEngine:
                     f"{self.admission_budget_s:.3f}s admission budget",
                     predicted_seconds=predicted,
                 )
-        result = self.execute_plan(plan, trace=trace)
+        try:
+            result = self.execute_plan(plan, trace=trace)
+        except EIIError:
+            if self.telemetry.enabled:
+                self.telemetry.on_query("error")
+                self.telemetry.tick(self.clock())
+            raise
         if trace is not None:
             trace.root.set(
                 rows=len(result.relation),
@@ -679,6 +729,13 @@ class FederatedEngine:
                 size_bytes=result.relation.size_bytes(),
                 cost_seconds=result.elapsed_seconds,
             )
+        if self.telemetry.enabled:
+            self.telemetry.on_query(
+                "partial" if result.is_partial else "ok",
+                seconds=result.elapsed_seconds,
+                rows=len(result.relation),
+            )
+            self.telemetry.tick(self.clock())
         return result
 
     def prepare(self, query: Union[str, Select, LogicalPlan]) -> FederatedPlan:

@@ -34,6 +34,7 @@ from typing import Iterable, Optional
 
 from repro.common.errors import CapabilityError, CircuitOpenError, SourceError
 from repro.sql.ast import JoinClause, Select, TableRef
+from repro.telemetry.plane import NULL_TELEMETRY
 
 
 class BreakerState(enum.Enum):
@@ -87,6 +88,7 @@ class CircuitBreaker:
         half_open_probes: int = 1,
         success_threshold: int = 1,
         clock=time.time,
+        listener=None,
     ):
         self.name = name
         self.failure_threshold = failure_threshold
@@ -94,6 +96,9 @@ class CircuitBreaker:
         self.half_open_probes = max(1, half_open_probes)
         self.success_threshold = max(1, success_threshold)
         self.clock = clock
+        #: optional callable ``(name, from_state, to_state, at_s)`` invoked
+        #: on every transition (the telemetry plane's health feed)
+        self.listener = listener
         self.state = BreakerState.CLOSED
         self.transitions: list[tuple[float, str, str]] = []
         self._consecutive_failures = 0
@@ -103,8 +108,12 @@ class CircuitBreaker:
         self._lock = threading.RLock()
 
     def _transition(self, to: BreakerState) -> None:
-        self.transitions.append((self.clock(), self.state.value, to.value))
+        at = self.clock()
+        self.transitions.append((at, self.state.value, to.value))
+        previous = self.state
         self.state = to
+        if self.listener is not None:
+            self.listener(self.name, previous.value, to.value, at)
 
     # -- gating ------------------------------------------------------------------
 
@@ -178,6 +187,16 @@ class ResilienceManager:
         self._rng = random.Random(self.policy.seed)
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
+        #: observe-only hook sink; the engine swaps in its telemetry plane
+        self.telemetry = NULL_TELEMETRY
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Point hooks at a telemetry plane, retrofitting existing breakers."""
+        self.telemetry = telemetry
+        listener = telemetry.on_breaker_transition if telemetry.enabled else None
+        with self._lock:
+            for breaker in self._breakers.values():
+                breaker.listener = listener
 
     # -- breakers ----------------------------------------------------------------
 
@@ -194,6 +213,11 @@ class ResilienceManager:
                     half_open_probes=policy.breaker_half_open_probes,
                     success_threshold=policy.breaker_success_threshold,
                     clock=self.clock,
+                    listener=(
+                        self.telemetry.on_breaker_transition
+                        if self.telemetry.enabled
+                        else None
+                    ),
                 )
                 self._breakers[name] = breaker
             return breaker
@@ -244,6 +268,8 @@ class ResilienceManager:
             if not breaker.allow():
                 if collector is not None:
                     collector.breaker_short_circuits += 1
+                if self.telemetry.enabled:
+                    self.telemetry.on_breaker_short_circuit(source_name)
                 if span is not None:
                     span.event("breaker.open", offset(), source=source_name)
                 error = CircuitOpenError(
@@ -261,6 +287,8 @@ class ResilienceManager:
                 breaker.record_failure()
                 if collector is not None:
                     collector.source_failures += 1
+                if self.telemetry.enabled:
+                    self.telemetry.on_source_failure(source_name)
                 if span is not None:
                     span.event(
                         "source_failure",
@@ -276,6 +304,8 @@ class ResilienceManager:
                         collector.retries += 1
                         collector.backoff_seconds += delay
                         collector.charge_seconds(delay)
+                    if self.telemetry.enabled:
+                        self.telemetry.on_retry(source_name, backoff_s=delay)
                     if span is not None:
                         span.event(
                             "retry",

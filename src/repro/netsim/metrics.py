@@ -78,6 +78,12 @@ class MetricsCollector:
     shed_queries: int = 0
     rejected_queries: int = 0
     deadline_misses: int = 0
+    # telemetry-plane headline counters (stamped by repro.telemetry; all
+    # zero — and therefore absent from summary() — when telemetry is off)
+    alerts_fired: int = 0
+    alerts_resolved: int = 0
+    health_transitions: int = 0
+    slo_breaches: int = 0
 
     def __post_init__(self):
         # not a dataclass field on purpose: merge()/reset() iterate fields
@@ -234,6 +240,14 @@ class MetricsCollector:
             "deadline_misses": self.deadline_misses,
         }
 
+    def telemetry_summary(self) -> dict:
+        return {
+            "alerts_fired": self.alerts_fired,
+            "alerts_resolved": self.alerts_resolved,
+            "health_transitions": self.health_transitions,
+            "slo_breaches": self.slo_breaches,
+        }
+
     def summary(self) -> dict:
         """Flat dict used by EXPLAIN output and the benchmark harness.
 
@@ -254,4 +268,7 @@ class MetricsCollector:
         sched = self.sched_summary()
         if any(sched.values()):
             out.update(sched)
+        telemetry = self.telemetry_summary()
+        if any(telemetry.values()):
+            out.update(telemetry)
         return out

@@ -52,6 +52,7 @@ from repro.sched.request import (
     WorkloadResult,
 )
 from repro.sched.wfq import FairQueue
+from repro.telemetry.plane import resolve_telemetry
 from repro.trace.span import Trace
 
 
@@ -120,6 +121,7 @@ class WorkloadScheduler:
         tenants: Optional[dict] = None,
         config: Optional[SchedulerConfig] = None,
         scoreboard=None,
+        telemetry=None,
     ):
         self.engine = engine
         self.config = config or SchedulerConfig()
@@ -129,6 +131,25 @@ class WorkloadScheduler:
         ) else {t.name: t for t in (tenants or [])}
         #: optional `QueryScoreboard` fed one record per outcome
         self.scoreboard = scoreboard
+        #: observe-only telemetry plane (no-op default). A plane passed
+        #: here is shared with the engine (whose fetch/query hooks feed the
+        #: same instruments); a plane already on the engine is inherited.
+        engine_telemetry = getattr(engine, "telemetry", None)
+        if telemetry is None and engine_telemetry is not None:
+            self.telemetry = engine_telemetry
+        else:
+            self.telemetry = resolve_telemetry(telemetry)
+            if self.telemetry.enabled and (
+                engine_telemetry is None or not engine_telemetry.enabled
+            ):
+                if self.telemetry.clock is None:
+                    clock = getattr(engine, "clock", None)
+                    self.telemetry.clock = clock
+                    self.telemetry.series.clock = clock
+                engine.telemetry = self.telemetry
+                resilience = getattr(engine, "resilience", None)
+                if resilience is not None:
+                    resilience.attach_telemetry(self.telemetry)
 
     # -- public ------------------------------------------------------------------
 
@@ -145,6 +166,7 @@ class _RunState:
         self.scheduler = scheduler
         self.engine = scheduler.engine
         self.config = scheduler.config
+        self.telemetry = scheduler.telemetry
         self.requests = requests
         self.queue = FairQueue(
             tenants=dict(scheduler.tenants),
@@ -183,6 +205,10 @@ class _RunState:
         while self.events:
             time_s, _, kind, payload = heapq.heappop(self.events)
             self.now = max(self.now, time_s)
+            if self.telemetry.enabled:
+                # close telemetry windows up to virtual time before the
+                # event lands in the window containing `now`
+                self.telemetry.tick(self.now)
             if kind == "arrive":
                 self._on_arrive(payload)
             elif kind == "fetch_done":
@@ -219,6 +245,8 @@ class _RunState:
                     queue_depth=self.config.queue_depth,
                 )
             )
+            if self.telemetry.enabled:
+                self.telemetry.on_outcome(outcome, now=self.now)
             return
         try:
             self.queue.push(
@@ -231,6 +259,11 @@ class _RunState:
             outcome.status = REJECTED
             outcome.finish_s = self.now
             outcome.error = str(exc)
+            if self.telemetry.enabled:
+                self.telemetry.on_outcome(outcome, now=self.now)
+            return
+        if self.telemetry.enabled:
+            self.telemetry.on_arrival(request.tenant, len(self.queue))
 
     # -- dispatch (the one place real execution happens) -------------------------
 
@@ -418,6 +451,8 @@ class _RunState:
         if deadline is not None and outcome.finish_s > deadline:
             outcome.deadline_missed = True
         self.makespan_s = max(self.makespan_s, self.now)
+        if self.telemetry.enabled:
+            self.telemetry.on_outcome(outcome, now=self.now)
 
     def _shed(self, index: int) -> None:
         outcome = self.outcomes[index]
@@ -436,6 +471,8 @@ class _RunState:
             )
         )
         self.makespan_s = max(self.makespan_s, self.now)
+        if self.telemetry.enabled:
+            self.telemetry.on_outcome(outcome, now=self.now)
 
     # -- finalization ------------------------------------------------------------
 
@@ -469,6 +506,11 @@ class _RunState:
                 collector.deadline_misses += outcome.deadline_missed
             if self.scheduler.scoreboard is not None:
                 self.scheduler.scoreboard.record_outcome(outcome)
+        if self.telemetry.enabled:
+            # one last roll so the workload's final window closes, then
+            # stamp the plane's headline counters into the account
+            self.telemetry.tick(self.makespan_s + self.telemetry.series.window_s)
+            self.telemetry.stamp(result.metrics)
         if self.config.trace:
             result.trace = self._build_trace(result)
         return result

@@ -17,6 +17,10 @@ Commands:
     \trace              toggle tracing (on by default; off = no-op tracer)
     \workload [n [seed]]  run a seeded n-query multi-tenant workload
                         through the concurrent scheduler (default 25, seed 0)
+    \health             telemetry dashboard: per-source health, sparklines
+    \slo                per-tenant SLO status (burn rates, breaches)
+    \alerts             alert history (firing and resolved)
+    \help               show this command list
     \quit               exit
 
 Anything else is executed as federated SQL against the generated
@@ -32,18 +36,34 @@ from repro.adaptive import AdaptiveContext
 from repro.bench import BenchConfig, build_enterprise
 from repro.common.errors import EIIError
 from repro.federation import FederatedEngine
+from repro.netsim import SimClock
+from repro.telemetry import TelemetryPlane
 from repro.trace import QueryScoreboard, Tracer
 
 
 class Shell:
-    def __init__(self, scale: int = 1, out=None):
+    def __init__(self, scale: int = 1, out=None, telemetry: bool = True):
         self.out = out if out is not None else sys.stdout
         fixture = build_enterprise(BenchConfig(scale=scale))
         self.scoreboard = QueryScoreboard()
         self.tracer = Tracer(scoreboard=self.scoreboard)
         self.adaptive = AdaptiveContext(scoreboard=self.scoreboard)
+        # With telemetry on, the shell runs on a SimClock advanced by each
+        # query's simulated elapsed time, so health/SLO windows roll on the
+        # same timeline the netsim charges. Telemetry off keeps the
+        # historical wall-clock engine, byte-identical output included.
+        engine_kwargs = {}
+        self.clock = None
+        self.telemetry = None
+        if telemetry:
+            self.clock = SimClock()
+            self.telemetry = TelemetryPlane(clock=self.clock)
+            engine_kwargs = {"clock": self.clock, "telemetry": self.telemetry}
         self.engine = FederatedEngine(
-            fixture.catalog(), tracer=self.tracer, adaptive=self.adaptive
+            fixture.catalog(),
+            tracer=self.tracer,
+            adaptive=self.adaptive,
+            **engine_kwargs,
         )
         self.show_metrics = True
         self.tracing = True
@@ -110,6 +130,8 @@ class Shell:
             except EIIError as exc:
                 self.write(f"error: {exc}")
                 return True
+            if self.clock is not None:
+                self.clock.advance(result.elapsed_seconds)
             self.write(result.explain_analyze())
             return True
         if command == "\\scoreboard":
@@ -135,12 +157,55 @@ class Shell:
         if command == "\\workload":
             self._workload(argument.split())
             return True
+        if command == "\\health":
+            if self._telemetry_off():
+                return True
+            self.telemetry.tick(self.clock())
+            self.write(self.telemetry.render_dashboard())
+            return True
+        if command == "\\slo":
+            if self._telemetry_off():
+                return True
+            self.telemetry.tick(self.clock())
+            self.write(self.telemetry.slo.render())
+            return True
+        if command == "\\alerts":
+            if self._telemetry_off():
+                return True
+            self.telemetry.tick(self.clock())
+            self.write(self.telemetry.alerts.render())
+            return True
+        if command == "\\help":
+            self.write(self._help_text())
+            return True
         self.write(
             f"unknown command {command!r} "
-            "(try \\sources \\tables \\explain \\lint \\profile \\scoreboard "
-            "\\feedback \\workload \\quit)"
+            "(try \\help \\sources \\tables \\explain \\lint \\profile "
+            "\\scoreboard \\feedback \\workload \\health \\slo \\alerts \\quit)"
         )
         return True
+
+    def _telemetry_off(self) -> bool:
+        if self.telemetry is None:
+            self.write(
+                "telemetry is off — start the shell with telemetry enabled "
+                "(Shell(telemetry=True), the default)"
+            )
+            return True
+        return False
+
+    @staticmethod
+    def _help_text() -> str:
+        """The Commands section of the module docstring, verbatim."""
+        lines = (__doc__ or "").splitlines()
+        try:
+            start = next(i for i, l in enumerate(lines) if l.startswith("Commands:"))
+        except StopIteration:
+            return __doc__ or ""
+        end = start + 1
+        while end < len(lines) and (not lines[end] or lines[end].startswith(" ")):
+            end += 1
+        return "\n".join(lines[start:end]).rstrip()
 
     def _workload(self, args: list) -> None:
         """Run a seeded concurrent workload and print the tenant table."""
@@ -163,6 +228,7 @@ class Shell:
             tenants=DEFAULT_TENANTS,
             config=SchedulerConfig(),
             scoreboard=self.scoreboard if self.tracing else None,
+            telemetry=self.telemetry,
         )
         result = scheduler.run(requests)
         self.write(result.render())
@@ -187,6 +253,10 @@ class Shell:
         except EIIError as exc:
             self.write(f"error: {exc}")
             return
+        if self.clock is not None:
+            # telemetry mode: the shell's timeline advances by each query's
+            # simulated elapsed time, rolling health/SLO windows forward
+            self.clock.advance(result.elapsed_seconds)
         self.write(result.relation.pretty())
         if self.show_metrics:
             summary = result.metrics.summary()

@@ -1,0 +1,255 @@
+"""Observe-only alerting: deduplicated firing/resolved alert records.
+
+An `Alert` never *does* anything — the telemetry plane is strictly
+observational (the resilience layer owns reactions like breakers and
+failover). Alerts exist so an operator, a test, or a benchmark can ask
+"what would have paged, and when?" on the simulated timeline.
+
+`AlertManager.check(key, ...)` is idempotent per evaluation window: a
+condition that stays true keeps one firing alert alive (deduplicated,
+with an observation count), a condition that clears resolves it, and the
+full firing→resolved history is retained in order for replay assertions.
+
+Two standing rule kinds cover the plane's needs:
+
+* `ThresholdRule` — value crosses a fixed bound (SLO burn rate ≥ 1,
+  failure rate ≥ 50%);
+* `ZScoreRule` — value is a statistical outlier against its own EWMA
+  history (`repro.telemetry.stats.Ewma`), which catches a latency
+  regression long before any fixed bound would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.telemetry.stats import Ewma
+
+FIRING = "firing"
+RESOLVED = "resolved"
+
+#: severities, in escalation order
+INFO = "info"
+WARNING = "warning"
+CRITICAL = "critical"
+
+
+@dataclass
+class Alert:
+    """One deduplicated alert through its firing→resolved lifecycle."""
+
+    key: str
+    severity: str
+    message: str
+    fired_at_s: float
+    state: str = FIRING
+    resolved_at_s: Optional[float] = None
+    #: consecutive evaluations that re-confirmed the condition while firing
+    observations: int = 1
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def firing(self) -> bool:
+        return self.state == FIRING
+
+    def to_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "severity": self.severity,
+            "message": self.message,
+            "state": self.state,
+            "fired_at_s": round(self.fired_at_s, 9),
+            "resolved_at_s": (
+                round(self.resolved_at_s, 9) if self.resolved_at_s is not None else None
+            ),
+            "observations": self.observations,
+            "attrs": {str(k): self.attrs[k] for k in sorted(self.attrs)},
+        }
+
+    def describe(self) -> str:
+        window = f"fired@{self.fired_at_s:.3f}s"
+        if self.resolved_at_s is not None:
+            window += f" resolved@{self.resolved_at_s:.3f}s"
+        return f"[{self.severity}] {self.key}: {self.message} ({window})"
+
+
+class AlertManager:
+    """Owns every alert's lifecycle; one firing alert per key at a time."""
+
+    def __init__(self):
+        #: currently-firing alerts by key
+        self.active: dict[str, Alert] = {}
+        #: every alert ever fired, in firing order (resolved ones included)
+        self.history: list[Alert] = []
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def check(
+        self,
+        key: str,
+        condition: bool,
+        now: float,
+        severity: str = WARNING,
+        message: str = "",
+        **attrs,
+    ) -> Optional[Alert]:
+        """Evaluate one condition: fire, re-confirm, or resolve by `key`."""
+        if condition:
+            return self.fire(key, now, severity=severity, message=message, **attrs)
+        self.resolve(key, now)
+        return None
+
+    def fire(
+        self, key: str, now: float, severity: str = WARNING, message: str = "", **attrs
+    ) -> Alert:
+        """Raise (or re-confirm) the alert for `key`; dedup is by key."""
+        alert = self.active.get(key)
+        if alert is not None:
+            alert.observations += 1
+            if message:
+                alert.message = message
+            alert.attrs.update(attrs)
+            return alert
+        alert = Alert(
+            key=key,
+            severity=severity,
+            message=message or key,
+            fired_at_s=now,
+            attrs=dict(attrs),
+        )
+        self.active[key] = alert
+        self.history.append(alert)
+        return alert
+
+    def resolve(self, key: str, now: float) -> Optional[Alert]:
+        alert = self.active.pop(key, None)
+        if alert is None:
+            return None
+        alert.state = RESOLVED
+        alert.resolved_at_s = now
+        return alert
+
+    # -- reading -----------------------------------------------------------------
+
+    def firing(self) -> list:
+        return [self.active[key] for key in sorted(self.active)]
+
+    @property
+    def fired_total(self) -> int:
+        return len(self.history)
+
+    @property
+    def resolved_total(self) -> int:
+        return sum(1 for alert in self.history if alert.state == RESOLVED)
+
+    def first(self, key_prefix: str) -> Optional[Alert]:
+        """Earliest-fired alert whose key starts with `key_prefix`."""
+        for alert in self.history:
+            if alert.key.startswith(key_prefix):
+                return alert
+        return None
+
+    def to_dicts(self) -> list:
+        return [alert.to_dict() for alert in self.history]
+
+    def render(self) -> str:
+        if not self.history:
+            return "alerts: none recorded"
+        lines = [
+            f"alerts: {len(self.active)} firing, "
+            f"{self.resolved_total} resolved, {self.fired_total} total"
+        ]
+        for alert in self.history:
+            marker = "!" if alert.firing else " "
+            lines.append(f" {marker} {alert.describe()}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Standing rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ThresholdRule:
+    """Fire while ``value OP bound`` holds (OP from `op`: ">=", "<=")."""
+
+    key: str
+    bound: float
+    op: str = ">="
+    severity: str = WARNING
+    message: str = ""
+
+    def evaluate(self, value: float, manager: AlertManager, now: float) -> bool:
+        if self.op == ">=":
+            breached = value >= self.bound
+        elif self.op == "<=":
+            breached = value <= self.bound
+        else:
+            raise ValueError(f"unsupported threshold op {self.op!r}")
+        manager.check(
+            self.key,
+            breached,
+            now,
+            severity=self.severity,
+            message=(self.message or f"{self.key} {self.op} {self.bound}")
+            + f" (value={value:.6g})",
+            value=round(float(value), 9),
+            bound=self.bound,
+        )
+        return breached
+
+
+class ZScoreRule:
+    """Fire when a value is `z_threshold` deviations above its own history.
+
+    The baseline updates only on *non-breaching* observations, so a
+    sustained regression keeps alerting instead of normalizing itself
+    into the new baseline.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        z_threshold: float = 3.0,
+        alpha: float = 0.3,
+        min_samples: int = 3,
+        severity: str = WARNING,
+        message: str = "",
+    ):
+        self.key = key
+        self.z_threshold = z_threshold
+        self.severity = severity
+        self.message = message
+        self.baseline = Ewma(alpha=alpha, min_samples=min_samples)
+
+    def evaluate(self, value: float, manager: AlertManager, now: float) -> bool:
+        z = self.baseline.zscore(value)
+        breached = z >= self.z_threshold
+        manager.check(
+            self.key,
+            breached,
+            now,
+            severity=self.severity,
+            message=(self.message or f"{self.key} z-score {z:.2f} >= {self.z_threshold}"),
+            value=round(float(value), 9),
+            zscore=round(z, 6),
+            baseline_mean=round(self.baseline.mean, 9),
+        )
+        if not breached:
+            self.baseline.update(value)
+        return breached
+
+
+__all__ = [
+    "Alert",
+    "AlertManager",
+    "CRITICAL",
+    "FIRING",
+    "INFO",
+    "RESOLVED",
+    "ThresholdRule",
+    "WARNING",
+    "ZScoreRule",
+]

@@ -1,0 +1,328 @@
+"""The telemetry plane: one facade over instruments, SLOs, health, alerts.
+
+`TelemetryPlane` is what the execution layers talk to. Every hook is an
+*observation* — the plane never changes behavior, so an engine with a
+plane attached executes byte-for-byte the same queries as one without.
+The default is `NULL_TELEMETRY` (mirroring `NullTracer`): ``enabled`` is
+False, every hook is a no-op, and every call site in the engine guards on
+``telemetry.enabled`` so the disabled path does zero extra work.
+
+Hooked layers and what they report:
+
+* `FederatedEngine` / `_FetchRuntime` — per-source fetch outcomes,
+  latencies, bytes, cache hits/misses; per-query status and latency;
+* `ResilienceManager` — retries, source failures, breaker short-circuits
+  and breaker state transitions (which feed the health model directly);
+* `WorkloadScheduler` — arrivals, queue waits, sheds/rejections and the
+  per-tenant `QueryOutcome` stream that drives the SLO tracker.
+
+`tick(now)` advances the aligned time-series windows on simulated time
+and, at each window close, has the health model judge every source on
+that window's activity. Everything downstream of a seeded workload is
+deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.telemetry.alerts import AlertManager
+from repro.telemetry.export import export_jsonl, export_prometheus, render_dashboard
+from repro.telemetry.health import HealthModel, HealthPolicy, SourceWindow
+from repro.telemetry.instruments import MetricsRegistry
+from repro.telemetry.slo import SloPolicy, SloTracker
+from repro.telemetry.timeseries import DEFAULT_RETENTION, DEFAULT_WINDOW_S, TimeSeries
+
+
+class NullTelemetry:
+    """The zero-cost default: observes nothing, allocates nothing."""
+
+    enabled = False
+
+    def on_fetch(self, *args, **kwargs) -> None:
+        return None
+
+    def on_query(self, *args, **kwargs) -> None:
+        return None
+
+    def on_retry(self, *args, **kwargs) -> None:
+        return None
+
+    def on_source_failure(self, *args, **kwargs) -> None:
+        return None
+
+    def on_breaker_short_circuit(self, *args, **kwargs) -> None:
+        return None
+
+    def on_breaker_transition(self, *args, **kwargs) -> None:
+        return None
+
+    def on_arrival(self, *args, **kwargs) -> None:
+        return None
+
+    def on_outcome(self, *args, **kwargs) -> None:
+        return None
+
+    def tick(self, *args, **kwargs) -> int:
+        return 0
+
+
+class TelemetryPlane:
+    """Aggregates every operational signal of one engine / workload."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock=None,
+        window_s: float = DEFAULT_WINDOW_S,
+        retention: int = DEFAULT_RETENTION,
+        slo_policies: Optional[dict] = None,
+        default_slo: Optional[SloPolicy] = None,
+        health_policy: Optional[HealthPolicy] = None,
+    ):
+        self.clock = clock
+        self.registry = MetricsRegistry()
+        self.series = TimeSeries(
+            self.registry, clock=clock, window_s=window_s, retention=retention
+        )
+        self.alerts = AlertManager()
+        self.slo = SloTracker(
+            policies=slo_policies, alerts=self.alerts, default_policy=default_slo
+        )
+        self.health = HealthModel(policy=health_policy, alerts=self.alerts)
+        #: per-source activity since the last window close (health input)
+        self._source_windows: dict[str, SourceWindow] = {}
+        self._now = 0.0
+        # the engine's prefetch pool reports fetches from worker threads;
+        # one lock keeps counter increments exact (and therefore replayable)
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        if self.clock is not None:
+            return self.clock() if callable(self.clock) else self.clock.now()
+        return self._now
+
+    def _window(self, source: str) -> SourceWindow:
+        name = source.lower()
+        window = self._source_windows.get(name)
+        if window is None:
+            window = self._source_windows[name] = SourceWindow()
+        return window
+
+    # -- engine hooks ------------------------------------------------------------
+
+    def on_fetch(
+        self,
+        source: str,
+        seconds: float = 0.0,
+        payload_bytes: int = 0,
+        wire_bytes: int = 0,
+        cache: str = "",
+        ok: bool = True,
+        kind: str = "fetch",
+    ) -> None:
+        """One component fetch's outcome (remote call or cache hit)."""
+        name = source.lower()
+        with self._lock:
+            window = self._window(name)
+            if cache == "hit":
+                self.registry.counter(
+                    "eii_cache_hits_total", "per-source fetch-cache hits", source=name
+                ).inc()
+                window.cache_hits += 1
+                return
+            if cache == "miss":
+                self.registry.counter(
+                    "eii_cache_misses_total", "per-source fetch-cache misses", source=name
+                ).inc()
+                window.cache_misses += 1
+                # the remote call that follows reports separately
+                return
+            outcome = "ok" if ok else "error"
+            self.registry.counter(
+                "eii_fetches_total",
+                "component fetches by source and outcome",
+                source=name,
+                outcome=outcome,
+            ).inc()
+            if ok:
+                self.registry.histogram(
+                    "eii_fetch_latency_seconds",
+                    "simulated per-fetch latency",
+                    source=name,
+                ).observe(seconds)
+                if payload_bytes:
+                    self.registry.counter(
+                        "eii_fetch_payload_bytes_total",
+                        "payload bytes shipped per source",
+                        source=name,
+                    ).inc(payload_bytes)
+                if wire_bytes:
+                    self.registry.counter(
+                        "eii_fetch_wire_bytes_total",
+                        "wire bytes shipped per source",
+                        source=name,
+                    ).inc(wire_bytes)
+                window.fetches += 1
+                window.latency_sum_s += seconds
+            else:
+                window.failures += 1
+
+    def on_query(self, status: str, seconds: float = 0.0, rows: int = 0) -> None:
+        self.registry.counter(
+            "eii_queries_total", "federated queries by status", status=status
+        ).inc()
+        if status in ("ok", "partial"):
+            self.registry.histogram(
+                "eii_query_latency_seconds", "simulated per-query elapsed"
+            ).observe(seconds)
+            self.registry.counter(
+                "eii_query_rows_total", "rows returned to clients"
+            ).inc(rows)
+
+    # -- resilience hooks --------------------------------------------------------
+
+    def on_retry(self, source: str, backoff_s: float = 0.0) -> None:
+        name = source.lower()
+        with self._lock:
+            self.registry.counter(
+                "eii_retries_total", "retries by source", source=name
+            ).inc()
+            self._window(name).retries += 1
+
+    def on_source_failure(self, source: str) -> None:
+        name = source.lower()
+        with self._lock:
+            self.registry.counter(
+                "eii_source_failures_total", "failed source calls", source=name
+            ).inc()
+            self._window(name).failures += 1
+
+    def on_breaker_short_circuit(self, source: str) -> None:
+        with self._lock:
+            self.registry.counter(
+                "eii_breaker_short_circuits_total",
+                "calls rejected by an open breaker",
+                source=source.lower(),
+            ).inc()
+
+    def on_breaker_transition(
+        self, source: str, from_state: str, to_state: str, at_s: float
+    ) -> None:
+        name = source.lower()
+        with self._lock:
+            self.registry.counter(
+                "eii_breaker_transitions_total",
+                "breaker state transitions",
+                source=name,
+                to=to_state,
+            ).inc()
+            self.health.note_breaker(name, to_state, at_s)
+
+    # -- scheduler hooks ---------------------------------------------------------
+
+    def on_arrival(self, tenant: str, queued: int) -> None:
+        self.registry.counter(
+            "eii_sched_arrivals_total", "workload arrivals", tenant=tenant
+        ).inc()
+        self.registry.gauge(
+            "eii_sched_queue_depth", "admission queue depth at last arrival"
+        ).set(queued)
+
+    def on_outcome(self, outcome, now: Optional[float] = None) -> None:
+        """One resolved workload outcome: counters + the SLO stream."""
+        tenant = outcome.request.tenant
+        self.registry.counter(
+            "eii_sched_outcomes_total",
+            "workload outcomes by tenant and status",
+            tenant=tenant,
+            status=outcome.status,
+        ).inc()
+        if outcome.dispatch_index >= 0:
+            self.registry.histogram(
+                "eii_queue_wait_seconds", "admission queue wait", tenant=tenant
+            ).observe(outcome.queue_wait_s)
+        if outcome.deadline_missed:
+            self.registry.counter(
+                "eii_deadline_misses_total", "missed deadlines", tenant=tenant
+            ).inc()
+        if outcome.coalesced_fetches:
+            self.registry.counter(
+                "eii_coalesced_fetches_total", "coalesced fetches", tenant=tenant
+            ).inc(outcome.coalesced_fetches)
+        at = now if now is not None else outcome.finish_s
+        self._now = max(self._now, at)
+        self.slo.observe(outcome, now=at)
+
+    # -- the clockwork -----------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> int:
+        """Advance to `now`: close due windows and judge source health.
+
+        Returns the number of windows closed. Safe to call as often as
+        the caller likes — closing zero windows does nothing.
+        """
+        if now is None:
+            now = self.now()
+        with self._lock:
+            self._now = max(self._now, now)
+            closed = self.series.roll(self._now)
+            if closed:
+                boundary = self.series.closed * self.series.window_s
+                self.health.close_window(self._source_windows, boundary)
+                self._source_windows = {}
+            return closed
+
+    # -- summary counters (mirrored into MetricsCollector summaries) --------------
+
+    @property
+    def alerts_fired(self) -> int:
+        return self.alerts.fired_total
+
+    @property
+    def alerts_resolved(self) -> int:
+        return self.alerts.resolved_total
+
+    @property
+    def health_transitions(self) -> int:
+        return self.health.transition_count
+
+    @property
+    def slo_breaches(self) -> int:
+        return self.slo.breaches
+
+    def stamp(self, collector) -> None:
+        """Write the plane's headline counters onto a `MetricsCollector`."""
+        collector.alerts_fired = self.alerts_fired
+        collector.alerts_resolved = self.alerts_resolved
+        collector.health_transitions = self.health_transitions
+        collector.slo_breaches = self.slo_breaches
+
+    # -- exports -----------------------------------------------------------------
+
+    def export_jsonl(self) -> str:
+        return export_jsonl(self)
+
+    def export_prometheus(self) -> str:
+        return export_prometheus(self)
+
+    def render_dashboard(self) -> str:
+        return render_dashboard(self)
+
+
+#: Shared no-op instance; safe because it holds no state.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def resolve_telemetry(telemetry) -> "TelemetryPlane | NullTelemetry":
+    """Normalize a constructor argument into a plane or the null default."""
+    if telemetry is None or telemetry is False:
+        return NULL_TELEMETRY
+    if telemetry is True:
+        return TelemetryPlane()
+    return telemetry
+
+
+__all__ = ["NULL_TELEMETRY", "NullTelemetry", "TelemetryPlane", "resolve_telemetry"]

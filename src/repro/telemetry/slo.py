@@ -1,0 +1,291 @@
+"""Per-tenant service-level objectives over rolling outcome windows.
+
+The ROADMAP's multi-tenant north star needs more than per-query metrics:
+a tenant's experience is a *rate* over recent queries. `SloTracker` folds
+the workload scheduler's `QueryOutcome`s into a rolling window per tenant
+and evaluates four objectives against each tenant's `SloPolicy`:
+
+* **p95 turnaround latency** (queue wait + service, simulated seconds);
+* **error rate** — failed + rejected + shed, i.e. every user-visible
+  non-answer, against the tenant's error budget;
+* **deadline-miss rate** over answered queries with deadlines;
+* **completeness** — mean answered fraction (partial results count
+  against it, weighted by their estimated missing fraction).
+
+Burn rate is the SRE notion: observed bad-event rate divided by the
+budgeted rate. 1.0 burns the budget exactly as fast as allowed; 2.0
+exhausts it twice as fast. Burn rates at or above `burn_alert` raise a
+deduplicated alert through the `AlertManager` — observe-only, like the
+rest of the plane.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.telemetry.alerts import CRITICAL, WARNING, AlertManager
+from repro.telemetry.stats import percentile, safe_rate
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """One tenant's objectives (None disables that objective)."""
+
+    tenant: str = "default"
+    #: p95 turnaround (queue wait + service) must stay at or under this
+    p95_turnaround_s: Optional[float] = None
+    #: error budget: tolerated fraction of non-answers (failed/shed/rejected)
+    error_budget: float = 0.05
+    #: tolerated fraction of answered queries missing their deadline
+    deadline_miss_budget: float = 0.10
+    #: answered queries must carry at least this completeness fraction
+    min_completeness: Optional[float] = 0.99
+    #: rolling window length, in outcomes
+    window: int = 50
+    #: burn rate (observed/budgeted) at which the alert fires
+    burn_alert: float = 1.0
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window!r}")
+        if self.error_budget <= 0 or self.deadline_miss_budget <= 0:
+            raise ValueError("budgets must be positive fractions")
+
+
+@dataclass
+class SloStatus:
+    """One tenant's evaluated objectives at one instant."""
+
+    tenant: str
+    samples: int = 0
+    p95_turnaround_s: float = 0.0
+    error_rate: float = 0.0
+    deadline_miss_rate: float = 0.0
+    completeness: float = 1.0
+    error_burn_rate: float = 0.0
+    deadline_burn_rate: float = 0.0
+    breached: tuple = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.breached
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "samples": self.samples,
+            "p95_turnaround_s": round(self.p95_turnaround_s, 9),
+            "error_rate": round(self.error_rate, 9),
+            "deadline_miss_rate": round(self.deadline_miss_rate, 9),
+            "completeness": round(self.completeness, 9),
+            "error_burn_rate": round(self.error_burn_rate, 9),
+            "deadline_burn_rate": round(self.deadline_burn_rate, 9),
+            "breached": list(self.breached),
+        }
+
+
+@dataclass
+class _Sample:
+    """The slice of one `QueryOutcome` the objectives need."""
+
+    answered: bool
+    turnaround_s: float
+    deadline_missed: bool
+    completeness: float
+
+
+class SloTracker:
+    """Rolling per-tenant SLO evaluation with burn-rate alerting."""
+
+    def __init__(
+        self,
+        policies: Optional[dict] = None,
+        alerts: Optional[AlertManager] = None,
+        default_policy: Optional[SloPolicy] = None,
+    ):
+        self.default_policy = default_policy or SloPolicy()
+        self.policies: dict[str, SloPolicy] = dict(policies or {})
+        self.alerts = alerts
+        self._windows: dict[str, deque] = {}
+        self._statuses: dict[str, SloStatus] = {}
+        #: objective evaluations that came back breached (cumulative)
+        self.breaches = 0
+
+    def policy(self, tenant: str) -> SloPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    # -- feeding -----------------------------------------------------------------
+
+    def observe(self, outcome, now: Optional[float] = None) -> SloStatus:
+        """Fold one `repro.sched.QueryOutcome` in; re-evaluates its tenant."""
+        tenant = outcome.request.tenant
+        window = self._windows.get(tenant)
+        if window is None:
+            window = self._windows[tenant] = deque(
+                maxlen=self.policy(tenant).window
+            )
+        completeness = 1.0
+        result = outcome.result
+        if result is not None and getattr(result, "completeness", None) is not None:
+            completeness = 1.0 - result.completeness.missing_fraction()
+        window.append(
+            _Sample(
+                answered=outcome.answered,
+                turnaround_s=outcome.turnaround_s,
+                deadline_missed=bool(outcome.deadline_missed),
+                completeness=completeness,
+            )
+        )
+        at = now if now is not None else outcome.finish_s
+        return self.evaluate(tenant, at)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, tenant: str, now: float) -> SloStatus:
+        policy = self.policy(tenant)
+        samples = list(self._windows.get(tenant, ()))
+        status = SloStatus(tenant=tenant, samples=len(samples))
+        if samples:
+            answered = [s for s in samples if s.answered]
+            status.error_rate = safe_rate(
+                len(samples) - len(answered), len(samples)
+            )
+            status.deadline_miss_rate = safe_rate(
+                sum(1 for s in answered if s.deadline_missed), len(answered)
+            )
+            status.p95_turnaround_s = percentile(
+                [s.turnaround_s for s in answered], 0.95
+            )
+            status.completeness = (
+                sum(s.completeness for s in answered) / len(answered)
+                if answered
+                else 0.0
+            )
+        status.error_burn_rate = status.error_rate / policy.error_budget
+        status.deadline_burn_rate = (
+            status.deadline_miss_rate / policy.deadline_miss_budget
+        )
+
+        breached = []
+        if status.error_burn_rate >= policy.burn_alert and status.samples:
+            breached.append("error_budget")
+        if status.deadline_burn_rate >= policy.burn_alert and status.samples:
+            breached.append("deadline_budget")
+        if (
+            policy.p95_turnaround_s is not None
+            and status.samples
+            and status.p95_turnaround_s > policy.p95_turnaround_s
+        ):
+            breached.append("p95_turnaround")
+        if (
+            policy.min_completeness is not None
+            and status.samples
+            and status.completeness < policy.min_completeness
+        ):
+            breached.append("completeness")
+        status.breached = tuple(breached)
+        self.breaches += len(breached)
+        self._statuses[tenant] = status
+        self._alert(status, policy, now)
+        return status
+
+    def _alert(self, status: SloStatus, policy: SloPolicy, now: float) -> None:
+        if self.alerts is None:
+            return
+        checks = [
+            (
+                f"slo.{status.tenant}.error_burn",
+                "error_budget" in status.breached,
+                CRITICAL,
+                f"tenant {status.tenant!r} burning error budget at "
+                f"{status.error_burn_rate:.2f}x",
+                {"burn_rate": round(status.error_burn_rate, 6)},
+            ),
+            (
+                f"slo.{status.tenant}.deadline_burn",
+                "deadline_budget" in status.breached,
+                WARNING,
+                f"tenant {status.tenant!r} burning deadline budget at "
+                f"{status.deadline_burn_rate:.2f}x",
+                {"burn_rate": round(status.deadline_burn_rate, 6)},
+            ),
+            (
+                f"slo.{status.tenant}.p95_turnaround",
+                "p95_turnaround" in status.breached,
+                WARNING,
+                f"tenant {status.tenant!r} p95 turnaround "
+                f"{status.p95_turnaround_s:.4f}s over objective",
+                {"p95_turnaround_s": round(status.p95_turnaround_s, 9)},
+            ),
+            (
+                f"slo.{status.tenant}.completeness",
+                "completeness" in status.breached,
+                WARNING,
+                f"tenant {status.tenant!r} completeness "
+                f"{status.completeness:.4f} under objective",
+                {"completeness": round(status.completeness, 9)},
+            ),
+        ]
+        for key, breached, severity, message, attrs in checks:
+            self.alerts.check(
+                key, breached, now, severity=severity, message=message, **attrs
+            )
+
+    # -- reading -----------------------------------------------------------------
+
+    def statuses(self) -> list:
+        return [self._statuses[tenant] for tenant in sorted(self._statuses)]
+
+    def status(self, tenant: str) -> Optional[SloStatus]:
+        return self._statuses.get(tenant)
+
+    def to_dicts(self) -> list:
+        return [status.to_dict() for status in self.statuses()]
+
+    HEADERS = (
+        "tenant",
+        "samples",
+        "p95_turn_s",
+        "err_rate",
+        "miss_rate",
+        "complete",
+        "err_burn",
+        "ddl_burn",
+        "status",
+    )
+
+    def render(self) -> str:
+        statuses = self.statuses()
+        if not statuses:
+            return "slo: no outcomes observed"
+        rows = []
+        for status in statuses:
+            rows.append(
+                [
+                    status.tenant,
+                    str(status.samples),
+                    f"{status.p95_turnaround_s:.4f}",
+                    f"{status.error_rate:.3f}",
+                    f"{status.deadline_miss_rate:.3f}",
+                    f"{status.completeness:.3f}",
+                    f"{status.error_burn_rate:.2f}x",
+                    f"{status.deadline_burn_rate:.2f}x",
+                    "OK" if status.ok else "BREACH:" + ",".join(status.breached),
+                ]
+            )
+        widths = [
+            max(len(header), *(len(row[i]) for row in rows))
+            for i, header in enumerate(self.HEADERS)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(self.HEADERS, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in rows:
+            lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+__all__ = ["SloPolicy", "SloStatus", "SloTracker"]

@@ -1,0 +1,109 @@
+"""Small, dependency-free statistics helpers shared by the telemetry plane.
+
+`percentile` is the one hardened nearest-rank implementation used across
+the repo (telemetry histograms, the trace scoreboard, workload reports) —
+one definition instead of per-module copies with divergent edge cases.
+
+`Ewma` tracks an exponentially-weighted mean *and* variance, which is what
+the health model's z-score rules compare fresh window observations
+against: "is this window's latency an outlier versus this source's own
+recent history?" — scoring sources by observed quality, not declarations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def percentile(values: Sequence, fraction: float) -> float:
+    """Nearest-rank percentile of `values`.
+
+    Hardened edge cases, all covered by direct unit tests:
+
+    * empty input returns ``0.0`` (there is no sample to report);
+    * a single sample is every percentile of itself;
+    * ``fraction <= 0`` is the minimum, ``fraction >= 1`` the maximum
+      (out-of-range fractions clamp instead of indexing out of bounds);
+    * NaN fractions are rejected loudly rather than returning garbage.
+    """
+    if not values:
+        return 0.0
+    if isinstance(fraction, float) and math.isnan(fraction):
+        raise ValueError("percentile fraction must not be NaN")
+    ranked = sorted(values)
+    if len(ranked) == 1:
+        return ranked[0]
+    if fraction <= 0.0:
+        return ranked[0]
+    if fraction >= 1.0:
+        return ranked[-1]
+    rank = min(len(ranked) - 1, max(0, math.ceil(fraction * len(ranked)) - 1))
+    return ranked[rank]
+
+
+class Ewma:
+    """Exponentially-weighted mean/variance with a warm-up sample count.
+
+    `alpha` is the weight of each fresh observation. Variance uses the
+    standard EWMA recurrence (West 1979): the incremental update keeps the
+    estimate deterministic and O(1) per observation. `zscore(x)` is 0
+    until `min_samples` observations have landed, so the first windows of
+    a run never alert purely for lack of history.
+    """
+
+    def __init__(self, alpha: float = 0.3, min_samples: int = 3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.alpha = alpha
+        self.min_samples = max(1, min_samples)
+        self.count = 0
+        self.mean = 0.0
+        self._variance = 0.0
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        if self.count == 1:
+            self.mean = value
+            self._variance = 0.0
+            return
+        delta = value - self.mean
+        increment = self.alpha * delta
+        self.mean += increment
+        self._variance = (1.0 - self.alpha) * (self._variance + delta * increment)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._variance) if self._variance > 0 else 0.0
+
+    def zscore(self, value: float, floor_std: float = 1e-9) -> float:
+        """Standard score of `value` against the tracked history (0 cold)."""
+        if self.count < self.min_samples:
+            return 0.0
+        spread = max(self.std, floor_std)
+        return (float(value) - self.mean) / spread
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 9),
+            "std": round(self.std, 9),
+        }
+
+
+def mean(values: Sequence, default: float = 0.0) -> float:
+    """Arithmetic mean with an explicit empty-input default."""
+    return sum(values) / len(values) if values else default
+
+
+def safe_rate(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """`numerator / denominator` with a 0-denominator default."""
+    return numerator / denominator if denominator else default
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+__all__ = ["Ewma", "clamp", "mean", "percentile", "safe_rate"]

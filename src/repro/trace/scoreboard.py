@@ -10,20 +10,15 @@ pin the blame for slow federated queries on the source that earned it.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+
+# The hardened shared implementation (empty, single-sample and clamped
+# fraction edge cases covered by direct unit tests). Re-exported here
+# because scoreboard consumers historically import it from this module.
+from repro.telemetry.stats import percentile
 
 #: Span categories that represent remote work attributable to one source.
 _REMOTE_CATEGORIES = ("fetch", "bind_fetch")
-
-
-def percentile(values: list, fraction: float) -> float:
-    """Nearest-rank percentile of `values` (0 when empty)."""
-    if not values:
-        return 0.0
-    ranked = sorted(values)
-    rank = min(len(ranked) - 1, max(0, math.ceil(fraction * len(ranked)) - 1))
-    return ranked[rank]
 
 
 @dataclass

@@ -507,3 +507,64 @@ def test_adaptive_trace_replays_identically(sql, schedule, seed):
         return out
 
     assert run() == run()
+
+
+# -- telemetry fuzzing: observation must never perturb execution ---------------
+#
+# The telemetry plane's contract, fuzzed: for ANY query and ANY scripted
+# fault schedule, attaching a TelemetryPlane changes no row, no metric and
+# no span versus the bare engine — and the enabled run's own exports
+# replay byte-identically, so dashboards are as deterministic as answers.
+
+from repro.telemetry import TelemetryPlane  # noqa: E402
+
+
+@given(
+    sql=random_query(),
+    schedule=fault_schedule(),
+    seed=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_telemetry_is_observe_only(sql, schedule, seed):
+    def run(telemetry_on):
+        import copy
+
+        clock = SimClock()
+        injector = FaultInjector(seed=seed, clock=clock)
+        catalog = FIXTURE.catalog(
+            include_credit=False, include_docs=False, wrap=injector.wrap
+        )
+        for name, rules in schedule.items():
+            injector.script(name, *copy.deepcopy(rules))
+        plane = TelemetryPlane(clock=clock) if telemetry_on else None
+        engine = FederatedEngine(
+            catalog,
+            clock=clock,
+            parallel_workers=1,  # shared backoff RNG: serial order for replay
+            resilience=ResiliencePolicy(max_attempts=3, seed=seed),
+            partial_results=True,
+            tracer=Tracer(),
+            telemetry=plane,
+        )
+        try:
+            result = engine.query(sql)
+        except EIIError as exc:
+            return ("error", type(exc).__name__, str(exc)), plane
+        return (
+            "ok",
+            result.is_partial,
+            result.relation.rows,
+            result.metrics.summary(),
+            result.trace.to_json(),
+        ), plane
+
+    baseline, _ = run(telemetry_on=False)
+    observed, plane = run(telemetry_on=True)
+    assert observed == baseline, sql
+
+    replayed, plane2 = run(telemetry_on=True)
+    assert replayed == baseline, sql
+    if plane is not None:
+        assert plane2.export_jsonl() == plane.export_jsonl(), sql
+        assert plane2.export_prometheus() == plane.export_prometheus(), sql

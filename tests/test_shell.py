@@ -170,3 +170,67 @@ class TestShell:
         monkeypatch.setattr(sys, "argv", ["repro", "--scale=1"])
         assert shell_module.main() == 0
         assert "300" in capsys.readouterr().out
+
+
+class TestShellTelemetry:
+    def test_health_dashboard_after_queries_and_workload(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("SELECT COUNT(*) AS n FROM orders")
+        shell.handle("\\workload 10 0")
+        shell.handle("\\health")
+        text = out.getvalue()
+        assert "== telemetry ==" in text
+        assert "-- source health --" in text
+        assert "healthy" in text
+        assert "fetches/window" in text
+
+    def test_slo_and_alerts_commands(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("\\workload 10 0")
+        shell.handle("\\slo")
+        shell.handle("\\alerts")
+        text = out.getvalue()
+        assert "tenant" in text and "err_burn" in text
+        assert "alerts:" in text
+
+    def test_help_lists_telemetry_commands(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out)
+        shell.handle("\\help")
+        text = out.getvalue()
+        for command in ("\\health", "\\slo", "\\alerts", "\\workload"):
+            assert command in text, command
+
+    def test_clock_advances_by_simulated_elapsed(self):
+        shell = Shell(scale=1, out=io.StringIO())
+        assert shell.clock() == 0.0
+        shell.handle("SELECT COUNT(*) AS n FROM orders")
+        assert shell.clock() > 0.0
+
+    def test_telemetry_off_commands_hint_instead_of_crashing(self):
+        out = io.StringIO()
+        shell = Shell(scale=1, out=out, telemetry=False)
+        assert shell.telemetry is None and shell.clock is None
+        for command in ("\\health", "\\slo", "\\alerts"):
+            assert shell.handle(command) is True
+        assert out.getvalue().count("telemetry is off") == 3
+
+    def test_telemetry_off_session_matches_historical_output(self):
+        def transcript(**kwargs):
+            out = io.StringIO()
+            shell = Shell(scale=1, out=out, **kwargs)
+            shell.handle("SELECT COUNT(*) AS n FROM orders")
+            shell.handle("\\workload 8 1")
+            return out.getvalue()
+
+        # telemetry observes without changing a byte of existing output
+        assert transcript(telemetry=False) == transcript(telemetry=True)
+
+    def test_workload_feeds_tenant_slos(self):
+        shell = Shell(scale=1, out=io.StringIO())
+        shell.handle("\\workload 12 2")
+        statuses = shell.telemetry.slo.statuses()
+        assert statuses, "workload outcomes should reach the SLO tracker"
+        assert sum(s.samples for s in statuses) == 12
