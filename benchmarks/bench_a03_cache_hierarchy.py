@@ -14,7 +14,7 @@ from repro.bench import BenchConfig, build_enterprise
 from repro.bench.workload import QUERIES, QUERY_MIX
 from repro.cache import CacheConfig, CacheHierarchy
 from repro.eai import MessageBroker
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 
 
 def run_mix(engine):
@@ -44,7 +44,7 @@ def test_a03_cache_hierarchy(benchmark, record_experiment):
 
     def engine_with(**config_kwargs):
         cache = CacheHierarchy(CacheConfig(**config_kwargs))
-        return FederatedEngine(fixture.catalog(), cache=cache), cache
+        return FederatedEngine(fixture.catalog(), EngineConfig(cache=cache)), cache
 
     # Cold baseline: every repetition pays the full plan + fetch price.
     cold_engine, _ = engine_with(

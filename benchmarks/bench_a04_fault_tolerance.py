@@ -21,7 +21,7 @@ from repro.bench import BenchConfig, build_enterprise
 from repro.bench.workload import QUERIES, QUERY_MIX
 from repro.cache import CacheConfig, CacheHierarchy
 from repro.common.errors import EIIError
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.netsim import ErrorRate, FaultInjector, Outage, SimClock
 from repro.sources import RelationalSource
 
@@ -80,13 +80,7 @@ def build_engine(fixture, resilience=None, partial_results=False,
     cache = CacheHierarchy(
         CacheConfig(fetch_enabled=False, result_enabled=False), clock=clock
     )
-    return FederatedEngine(
-        catalog,
-        clock=clock,
-        cache=cache,
-        resilience=resilience,
-        partial_results=partial_results,
-    )
+    return FederatedEngine(catalog, EngineConfig(clock=clock, cache=cache, resilience=resilience, partial_results=partial_results))
 
 
 def test_a04_fault_tolerance(benchmark, record_experiment):

@@ -20,7 +20,7 @@ analyzer with a typed diagnostic before a single byte ships.
 
 from repro.bench import BenchConfig, build_enterprise
 from repro.common.errors import EIIError
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 
 SEED = 1405
 
@@ -62,7 +62,7 @@ def build_engines(fixture):
             max_attempts=3, breaker_failure_threshold=None, failover=False,
             seed=SEED,
         )
-        return FederatedEngine(catalog, resilience=policy, validate=validate)
+        return FederatedEngine(catalog, EngineConfig(resilience=policy, validate=validate))
 
     return engine(False), engine(True)
 

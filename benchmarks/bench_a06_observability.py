@@ -17,7 +17,7 @@ import pytest
 from repro.bench import BenchConfig, build_enterprise
 from repro.bench.workload import QUERIES, QUERY_MIX
 from repro.cache import CacheConfig, CacheHierarchy
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.netsim import FaultInjector, LatencySpike, SimClock
 from repro.trace import QueryScoreboard, Tracer
 
@@ -35,14 +35,7 @@ def build_engine(fixture, tracer):
     cache = CacheHierarchy(
         CacheConfig(fetch_enabled=False, result_enabled=False), clock=clock
     )
-    return FederatedEngine(
-        catalog,
-        clock=clock,
-        parallel_workers=1,
-        cache=cache,
-        resilience=ResiliencePolicy(max_attempts=2, seed=SEED),
-        tracer=tracer,
-    )
+    return FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, cache=cache, resilience=ResiliencePolicy(max_attempts=2, seed=SEED), tracer=tracer))
 
 
 def test_a06_observability(benchmark, record_experiment):

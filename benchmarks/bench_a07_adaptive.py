@@ -21,7 +21,7 @@ import pytest
 
 from repro.adaptive import AdaptiveContext, AdaptivePolicy
 from repro.common.types import DataType as T
-from repro.federation import FederatedEngine, FederationCatalog
+from repro.federation import EngineConfig, FederatedEngine, FederationCatalog
 from repro.federation.planner import FederatedPlanner
 from repro.netsim import Link, NetworkModel
 from repro.sources import RelationalSource
@@ -104,19 +104,12 @@ def build_engine(adaptive):
     # WAN-grade links: shipping rows is what hurts, exactly the regime in
     # which a mis-planned federated join is expensive.
     network = NetworkModel(Link(latency_s=0.01, bandwidth_bps=1_250_000))
-    return FederatedEngine(
-        catalog,
-        network=network,
-        planner=FederatedPlanner(
+    return FederatedEngine(catalog, EngineConfig(network=network, planner=FederatedPlanner(
             catalog,
             network=network,
             max_bind_keys=MAX_BIND_KEYS,
             choose_assembly_site=False,  # every fetch pays the network
-        ),
-        parallel_workers=2,
-        tracer=Tracer(keep=64),
-        adaptive=adaptive,
-    )
+        ), parallel_workers=2, tracer=Tracer(keep=64), adaptive=adaptive))
 
 
 def run_workload(engine):

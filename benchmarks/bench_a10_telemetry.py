@@ -26,7 +26,7 @@ The attached `TelemetryPlane` must:
 
 from repro.bench import BenchConfig, build_enterprise
 from repro.cache import CacheConfig, CacheHierarchy
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.netsim import FaultInjector, LatencySpike, Outage, SimClock
 from repro.sched import DEFAULT_TENANTS, SchedulerConfig, WorkloadScheduler, make_workload
 from repro.telemetry import HEALTHY, SloPolicy, TelemetryPlane
@@ -70,19 +70,13 @@ def run_scenario(fixture):
             "batch": SloPolicy(tenant="batch", error_budget=0.10, window=15)
         },
     )
-    engine = FederatedEngine(
-        catalog,
-        clock=clock,
-        cache=cache,
-        resilience=ResiliencePolicy(
+    engine = FederatedEngine(catalog, EngineConfig(clock=clock, cache=cache, resilience=ResiliencePolicy(
             max_attempts=1,
             breaker_failure_threshold=BREAKER_THRESHOLD,
             breaker_cooldown_s=1.0,
             failover=False,
             seed=SEED,
-        ),
-        telemetry=telemetry,
-    )
+        ), telemetry=telemetry))
     requests = make_workload(N_QUERIES, seed=SEED, mean_gap_s=MEAN_GAP_S)
     result = WorkloadScheduler(
         engine, tenants=DEFAULT_TENANTS, config=SchedulerConfig(workers=8)

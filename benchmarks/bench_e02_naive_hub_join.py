@@ -13,7 +13,7 @@ planner. Identical answers; compare bytes shipped and simulated seconds.
 import pytest
 
 from repro.bench import BenchConfig, build_enterprise
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 from repro.netsim.network import WireFormat
 from repro.sources.base import SCAN_ONLY
 
@@ -33,13 +33,11 @@ def naive_engine(fixture) -> FederatedEngine:
     )
     for source in catalog.sources.values():
         source.capabilities.wire_format = WireFormat.XML
-    return FederatedEngine(catalog, semijoin="off", choose_assembly_site=False)
+    return FederatedEngine(catalog, EngineConfig(semijoin="off", choose_assembly_site=False))
 
 
 def optimized_engine(fixture) -> FederatedEngine:
-    return FederatedEngine(
-        fixture.catalog(include_credit=False, include_docs=False), semijoin="auto"
-    )
+    return FederatedEngine(fixture.catalog(include_credit=False, include_docs=False), EngineConfig(semijoin="auto"))
 
 
 def test_e02_naive_hub_join(benchmark, record_experiment):

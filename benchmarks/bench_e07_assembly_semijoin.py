@@ -12,7 +12,7 @@ the optimization ladder.
 """
 
 from repro.bench import BenchConfig, build_enterprise
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 
 SQL = (
     "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id "
@@ -32,9 +32,7 @@ def test_e07_assembly_semijoin(benchmark, record_experiment):
     rows = []
     results = {}
     for label, options in CONFIGS:
-        engine = FederatedEngine(
-            fixture.catalog(include_credit=False, include_docs=False), **options
-        )
+        engine = FederatedEngine(fixture.catalog(include_credit=False, include_docs=False), EngineConfig(**options))
         result = engine.query(SQL)
         results[label] = result
         rows.append(
@@ -70,8 +68,5 @@ def test_e07_assembly_semijoin(benchmark, record_experiment):
     # The chosen site co-locates with the biggest producer (sales).
     assert results["best-site, ship-all"].plan.assembly_site == "sales"
 
-    engine = FederatedEngine(
-        fixture.catalog(include_credit=False, include_docs=False),
-        semijoin="force",
-    )
+    engine = FederatedEngine(fixture.catalog(include_credit=False, include_docs=False), EngineConfig(semijoin="force"))
     benchmark(lambda: engine.query(SQL))

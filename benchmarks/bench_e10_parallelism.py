@@ -12,7 +12,7 @@ thread pool. Speedup rises with workers and saturates at the fetch count.
 """
 
 from repro.bench import BenchConfig, build_enterprise
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 from repro.netsim import Link, NetworkModel
 
 SQL = (
@@ -39,10 +39,12 @@ def test_e10_parallelism(benchmark, record_experiment):
     for workers in (1, 2, 4, 8):
         engine = FederatedEngine(
             fixture.catalog(include_credit=False, include_docs=False),
-            network=wan(),
-            parallel_workers=workers,
-            semijoin="off",
-            choose_assembly_site=False,  # hub: every fetch crosses the WAN
+            EngineConfig(
+                network=wan(),
+                parallel_workers=workers,
+                semijoin="off",
+                choose_assembly_site=False,  # hub: every fetch crosses the WAN
+            ),
         )
         result = engine.query(SQL)
         if baseline_rows is None:
@@ -75,9 +77,5 @@ def test_e10_parallelism(benchmark, record_experiment):
     if fetch_count <= 8:
         assert abs(elapsed_by_workers[8] - elapsed_by_workers[fetch_count if fetch_count in elapsed_by_workers else 8]) < 0.05
 
-    engine = FederatedEngine(
-        fixture.catalog(include_credit=False, include_docs=False),
-        network=wan(),
-        parallel_workers=4,
-    )
+    engine = FederatedEngine(fixture.catalog(include_credit=False, include_docs=False), EngineConfig(network=wan(), parallel_workers=4))
     benchmark(lambda: engine.query(SQL))

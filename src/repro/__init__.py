@@ -25,6 +25,31 @@ from repro.common.errors import (
     TypeMismatchError,
 )
 
+def connect(catalog, config=None, **overrides):
+    """The documented way to build a `FederatedEngine`.
+
+        import repro
+        from repro.federation import EngineConfig
+
+        engine = repro.connect(catalog)                          # defaults
+        engine = repro.connect(catalog, EngineConfig(views=True))
+        engine = repro.connect(catalog, config, parallel_workers=8)
+
+    `config` is an `EngineConfig` (None = all defaults); keyword overrides
+    are applied on top via `EngineConfig.with_overrides`. Unlike the legacy
+    `FederatedEngine(catalog, **kwargs)` form, this path never emits a
+    `DeprecationWarning`.
+    """
+    from repro.federation.config import EngineConfig
+    from repro.federation.engine import FederatedEngine
+
+    if config is None:
+        config = EngineConfig()
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return FederatedEngine(catalog, config)
+
+
 __all__ = [
     "EIIError",
     "ParseError",
@@ -33,4 +58,5 @@ __all__ = [
     "SourceError",
     "TypeMismatchError",
     "__version__",
+    "connect",
 ]

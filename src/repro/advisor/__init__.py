@@ -8,6 +8,10 @@ simple formulas they could apply … but those are not available." Bitton's
 virtualize. This package turns both into code: `PersistenceAdvisor`
 applies the guidelines as hard rules first and otherwise evaluates an
 explicit cost formula, exposing the crossover analytically (E1, E14).
+
+`ViewSelector` automates the decision end to end: it watches a federated
+engine's workload, materializes the highest-benefit repeat queries under a
+byte budget, and retires them when they stop paying rent (A11).
 """
 
 from repro.advisor.advisor import (
@@ -16,10 +20,18 @@ from repro.advisor.advisor import (
     Recommendation,
     WorkloadProfile,
 )
+from repro.advisor.selector import (
+    CandidateStats,
+    ViewRecommendation,
+    ViewSelector,
+)
 
 __all__ = [
+    "CandidateStats",
     "CostParameters",
     "PersistenceAdvisor",
     "Recommendation",
+    "ViewRecommendation",
+    "ViewSelector",
     "WorkloadProfile",
 ]

@@ -19,9 +19,11 @@ assembly by utilizing local reduction and selecting the best assembly site."
 """
 
 from repro.federation.catalog import FederationCatalog, SourceTable
+from repro.federation.config import EngineConfig
 from repro.federation.nodes import LogicalBindJoin, LogicalFetch
 from repro.federation.planner import FederatedPlan, FederatedPlanner, plan_to_select
 from repro.federation.engine import FederatedEngine, FederatedResult
+from repro.federation.report import Report, ReportSection
 from repro.federation.resilience import (
     BreakerState,
     CircuitBreaker,
@@ -34,6 +36,7 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "CompletenessReport",
+    "EngineConfig",
     "FederatedEngine",
     "FederatedPlan",
     "FederatedPlanner",
@@ -41,6 +44,8 @@ __all__ = [
     "FederationCatalog",
     "LogicalBindJoin",
     "LogicalFetch",
+    "Report",
+    "ReportSection",
     "ResilienceManager",
     "ResiliencePolicy",
     "SourceTable",

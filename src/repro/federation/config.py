@@ -1,0 +1,91 @@
+"""Typed engine configuration: every `FederatedEngine` knob in one place.
+
+`EngineConfig` replaces the historical pile of constructor keywords with a
+frozen dataclass whose defaults are documented field by field. Build one
+directly, or start from the defaults and refine with `with_overrides`:
+
+    config = EngineConfig(cache=hierarchy, clock=clock)
+    engine = FederatedEngine(catalog, config)
+    faster = config.with_overrides(parallel_workers=8)
+
+The legacy keyword form (`FederatedEngine(catalog, clock=clock, ...)`)
+still works through a deprecation shim that maps the keywords onto an
+`EngineConfig` and emits a `DeprecationWarning`; `repro.connect` is the
+documented construction facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Optional
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Construction-time configuration of one `FederatedEngine`.
+
+    Every field has a working default, so ``EngineConfig()`` describes the
+    plain engine: four prefetch workers, cost-based semijoins, assembly-site
+    selection on, plan caching on, everything else (resilience, adaptive
+    execution, tracing, telemetry, views) off.
+    """
+
+    #: simulated network model shared by planner and executor
+    #: (None = a fresh default `repro.netsim.NetworkModel`)
+    network: Optional[Any] = None
+    #: size of the parallel component-fetch pool
+    parallel_workers: int = 4
+    #: join-key shipping between remote inputs: "auto" (cost-based),
+    #: "force" (whenever legal) or "off"
+    semijoin: str = "auto"
+    #: pick the assembly site minimizing simulated bytes shipped
+    choose_assembly_site: bool = True
+    #: a pre-built `FederatedPlanner` (None = construct from this config)
+    planner: Optional[Any] = None
+    #: reject queries predicted to run longer than this (None = admit all)
+    admission_budget_s: Optional[float] = None
+    #: legacy whole-result cache TTL; enables the result level when set
+    cache_ttl_s: Optional[float] = None
+    #: a `repro.cache.CacheHierarchy` (None = default: plan cache only)
+    cache: Optional[Any] = None
+    #: the engine clock (None = wall-clock `time.time`; benchmarks pass a
+    #: `repro.netsim.SimClock` for deterministic simulated time)
+    clock: Optional[Any] = None
+    #: `ResiliencePolicy` / `ResilienceManager` for retries, breakers and
+    #: failover; None = fail fast
+    resilience: Optional[Any] = None
+    #: degrade failed non-essential branches to annotated partial results
+    partial_results: bool = False
+    #: strict mode: static analysis before planning, invariant checks after
+    validate: bool = False
+    #: a `repro.trace.Tracer` (None = the zero-cost no-op tracer)
+    tracer: Optional[Any] = None
+    #: adaptive execution: an `AdaptiveContext`, `AdaptivePolicy` or True
+    adaptive: Optional[Any] = None
+    #: per-source concurrency limiter (e.g. `repro.sched.SourceLimiter`)
+    source_limiter: Optional[Any] = None
+    #: observe-only `repro.telemetry.TelemetryPlane` (or True for a default)
+    telemetry: Optional[Any] = None
+    #: answering-queries-using-views: a `repro.views.ViewManager`, or True
+    #: for an engine-owned manager; None disables view answering
+    views: Optional[Any] = None
+    #: staleness policy for view-answered queries (None = `ServePolicy()`:
+    #: serve any non-dirty view, never serve stale)
+    view_policy: Optional[Any] = None
+    #: auto-materialization: a `repro.advisor.ViewSelector`, a byte budget
+    #: (int), or True for the default selector; implies ``views`` when set
+    auto_materialize: Optional[Any] = None
+
+    def with_overrides(self, **overrides: Any) -> "EngineConfig":
+        """A copy of this config with the given fields replaced."""
+        unknown = set(overrides) - {spec.name for spec in fields(self)}
+        if unknown:
+            raise TypeError(
+                f"unknown EngineConfig field(s): {', '.join(sorted(unknown))}"
+            )
+        return replace(self, **overrides)
+
+
+#: The keyword names the legacy `FederatedEngine(catalog, **kwargs)` shim
+#: accepts — exactly the `EngineConfig` fields.
+LEGACY_KWARGS = frozenset(spec.name for spec in fields(EngineConfig))

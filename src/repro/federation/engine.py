@@ -16,6 +16,7 @@ see `FederatedResult.completeness` — instead of failing the query.
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -34,8 +35,10 @@ from repro.engine.cost import CostModel
 from repro.engine.executor import LocalEngine
 from repro.engine.logical import LogicalJoin, LogicalPlan, LogicalUnion
 from repro.federation.catalog import FederationCatalog
+from repro.federation.config import LEGACY_KWARGS, EngineConfig
 from repro.federation.nodes import LogicalBindJoin, LogicalFetch, with_in_filter
 from repro.federation.planner import FederatedPlan, FederatedPlanner
+from repro.federation.report import Report, counter_line
 from repro.federation.resilience import (
     CompletenessReport,
     ResilienceManager,
@@ -95,43 +98,61 @@ class FederatedResult:
     #: mid-query re-optimization report (`repro.adaptive.ReplanReport`);
     #: None when the plan survived its own actuals
     replan: Optional[object] = None
+    #: view provenance (`repro.views.ViewProvenance`) when this result was
+    #: answered from a materialized view instead of federating
+    view: Optional[object] = None
 
     @property
     def is_partial(self) -> bool:
         return self.completeness is not None and not self.completeness.complete
 
-    def explain(self) -> str:
-        lines = [self.plan.pretty()]
+    def report(self, analyze: bool = False) -> Report:
+        """This result's execution account as a sectioned `Report`.
+
+        The one rendering surface behind `explain()`/`explain_analyze()`:
+        consumers needing a single facet (the replan verdict, view
+        provenance, completeness) read the section by its stable name
+        instead of string-scraping. Section names and order are documented
+        in `repro.federation.report`.
+        """
+        report = Report()
+        report.add("plan", self.plan.pretty())
         if self.replan is not None:
-            lines.append(self.replan.describe())
-            lines.append(self.replan.pretty())
-        lines.append(_counter_line("metrics", self.metrics.base_summary()))
-        cache = self.metrics.cache_summary()
-        if any(cache.values()):
-            lines.append(_counter_line("cache", cache))
-        resilience = self.metrics.resilience_summary()
-        if any(resilience.values()):
-            lines.append(_counter_line("resilience", resilience))
-        adaptive = self.metrics.adaptive_summary()
-        if any(adaptive.values()):
-            lines.append(_counter_line("adaptive", adaptive))
-        lines.append(f"simulated elapsed: {self.elapsed_seconds:.4f}s")
+            report.add("replan", self.replan.describe(), self.replan.pretty())
+        report.add("metrics", counter_line("metrics", self.metrics.base_summary()))
+        for name, counters in (
+            ("cache", self.metrics.cache_summary()),
+            ("resilience", self.metrics.resilience_summary()),
+            ("adaptive", self.metrics.adaptive_summary()),
+            ("views", self.metrics.views_summary()),
+        ):
+            if any(counters.values()):
+                report.add(name, counter_line(name, counters))
+        if self.view is not None:
+            report.add("views", self.view.describe())
+        report.add("elapsed", f"simulated elapsed: {self.elapsed_seconds:.4f}s")
         if self.breaker_states:
-            lines.append(
+            report.add(
+                "breakers",
                 "breakers: "
                 + ", ".join(
                     f"{name}={state}"
                     for name, state in sorted(self.breaker_states.items())
-                )
+                ),
             )
         if self.completeness is not None:
             prefix = "completeness: PARTIAL — " if self.is_partial else "completeness: "
-            lines.append(prefix + self.completeness.describe())
-        return "\n".join(lines)
+            report.add("completeness", prefix + self.completeness.describe())
+        if analyze:
+            report.add("analyze", explain_analyze(self))
+        return report
+
+    def explain(self) -> str:
+        return self.report().render()
 
     def explain_analyze(self) -> str:
         """EXPLAIN ANALYZE text (requires the query to have been traced)."""
-        return explain_analyze(self)
+        return self.report(analyze=True).section("analyze").text()
 
 
 def _counter_line(section: str, counters: dict) -> str:
@@ -516,31 +537,64 @@ class FederatedEngine:
     def __init__(
         self,
         catalog: FederationCatalog,
-        network: Optional[NetworkModel] = None,
-        parallel_workers: int = 4,
-        semijoin: str = "auto",
-        choose_assembly_site: bool = True,
-        planner: Optional[FederatedPlanner] = None,
-        admission_budget_s: Optional[float] = None,
-        cache_ttl_s: Optional[float] = None,
-        cache: Optional[CacheHierarchy] = None,
-        clock=time.time,
-        resilience: Union[ResiliencePolicy, ResilienceManager, None] = None,
-        partial_results: bool = False,
-        validate: bool = False,
-        tracer=None,
-        adaptive=None,
-        source_limiter=None,
-        telemetry=None,
+        config: Optional[EngineConfig] = None,
+        **legacy,
     ):
+        """Build an engine over `catalog`, configured by an `EngineConfig`.
+
+        The documented construction path is ``repro.connect(catalog,
+        config=EngineConfig(...))`` (or this constructor with an explicit
+        config). The historical keyword knobs (``clock=``, ``cache=``,
+        ``resilience=``, ...) still work: they are mapped onto the config
+        via `EngineConfig.with_overrides` under a `DeprecationWarning`.
+        """
+        if config is not None and not isinstance(config, EngineConfig):
+            # historical positional second argument: the network model
+            warnings.warn(
+                "passing the network positionally is deprecated; use "
+                "EngineConfig(network=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            legacy.setdefault("network", config)
+            config = None
+        if legacy:
+            unknown = set(legacy) - LEGACY_KWARGS
+            if unknown:
+                raise TypeError(
+                    "unknown FederatedEngine argument(s): "
+                    + ", ".join(sorted(unknown))
+                )
+            warnings.warn(
+                "FederatedEngine keyword arguments are deprecated; pass an "
+                "EngineConfig (see repro.connect)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = (config or EngineConfig()).with_overrides(**legacy)
+        if config is None:
+            config = EngineConfig()
+        self.config = config
+
+        network = config.network
+        parallel_workers = config.parallel_workers
+        planner = config.planner
+        adaptive = config.adaptive
+        cache_ttl_s = config.cache_ttl_s
+        cache = config.cache
+        clock = config.clock if config.clock is not None else time.time
+        resilience = config.resilience
+        tracer = config.tracer
+        telemetry = config.telemetry
+
         self.catalog = catalog
         self.network = network or NetworkModel()
         self.parallel_workers = max(parallel_workers, 1)
         self.planner = planner or FederatedPlanner(
             catalog,
             network=self.network,
-            semijoin=semijoin,
-            choose_assembly_site=choose_assembly_site,
+            semijoin=config.semijoin,
+            choose_assembly_site=config.choose_assembly_site,
         )
         #: adaptive execution (cardinality feedback, mid-query replanning,
         #: LPT prefetch scheduling); None keeps the static engine — every
@@ -554,7 +608,7 @@ class FederatedEngine:
                 self.adaptive.store, catalog
             )
         #: reject queries predicted to run longer than this (None = admit all)
-        self.admission_budget_s = admission_budget_s
+        self.admission_budget_s = config.admission_budget_s
         #: legacy knob: enables the whole-result level with this TTL
         self.cache_ttl_s = cache_ttl_s
         self.clock = clock
@@ -580,16 +634,16 @@ class FederatedEngine:
             self.resilience = ResilienceManager(resilience, clock=clock)
         #: opt-in: degrade failed non-essential branches to annotated
         #: partial results instead of failing the whole query
-        self.partial_results = partial_results
+        self.partial_results = config.partial_results
         #: opt-in strict mode: run static analysis before planning and plan
         #: invariant verification after it, raising `AnalysisError` with
         #: zero bytes shipped when a query is statically infeasible
-        self.validate = validate
+        self.validate = config.validate
         #: optional per-source concurrency limiter (anything with a
         #: ``slot(source_name)`` context manager, e.g.
         #: `repro.sched.SourceLimiter`); bounds wall-clock threads per
         #: source inside the prefetch pool
-        self.source_limiter = source_limiter
+        self.source_limiter = config.source_limiter
         self._analyzer = None
         self._scratch = Database("assembly")
         self._local = LocalEngine(self._scratch, optimize=False)
@@ -606,6 +660,56 @@ class FederatedEngine:
                 self.telemetry.series.clock = clock
             if self.resilience is not None:
                 self.resilience.attach_telemetry(self.telemetry)
+        #: answering queries using views: a `ViewManager` (engine-owned by
+        #: default) plus the matcher; both None when views are off, keeping
+        #: the query path byte-identical to the view-less engine
+        self.views = self._resolve_views(config.views, config.auto_materialize)
+        self.view_selector = self._resolve_selector(config.auto_materialize)
+        if self.views is not None:
+            from repro.views.answering import ViewAnswering
+            from repro.views.catalog import ServePolicy
+
+            policy = config.view_policy or ServePolicy()
+            self.view_policy = policy
+            self._answering = ViewAnswering(self, policy)
+        else:
+            self.view_policy = config.view_policy
+            self._answering = None
+
+    def _resolve_views(self, views, auto_materialize):
+        """Accept a `ViewManager`, True, or None (implied on by the advisor).
+
+        Imported lazily like `repro.analysis`/`repro.adaptive` — the views
+        package pulls in the local executor, which this module must not
+        import at class-definition time.
+        """
+        if views is None or views is False:
+            if not auto_materialize:
+                return None
+            views = True
+        if views is True:
+            from repro.views.manager import ViewManager
+
+            return ViewManager(self)
+        return views
+
+    def _resolve_selector(self, auto_materialize):
+        """Accept a `ViewSelector`, a byte budget, True, or None."""
+        if auto_materialize is None or auto_materialize is False:
+            return None
+        from repro.advisor.selector import ViewSelector
+
+        if auto_materialize is True:
+            return ViewSelector(self)
+        if isinstance(auto_materialize, (int, float)):
+            return ViewSelector(self, byte_budget=int(auto_materialize))
+        if isinstance(auto_materialize, ViewSelector):
+            auto_materialize.attach(self)
+            return auto_materialize
+        raise PlanError(
+            f"auto_materialize must be a ViewSelector, byte budget or bool, "
+            f"got {type(auto_materialize).__name__}"
+        )
 
     @staticmethod
     def _resolve_adaptive(adaptive):
@@ -638,13 +742,22 @@ class FederatedEngine:
     # -- public -----------------------------------------------------------------
 
     def query(
-        self, query: Union[str, Select, LogicalPlan], analyze: bool = False
+        self,
+        query: Union[str, Select, LogicalPlan],
+        analyze: bool = False,
+        use_views: bool = True,
     ) -> FederatedResult:
         """Plan and execute a federated query (cache- and admission-aware).
 
         With ``analyze=True`` the execution is traced even when the engine
         has no tracer attached, so `FederatedResult.explain_analyze()` can
         render the per-node actuals for this one query.
+
+        When the engine has views enabled, a SELECT subsumed by a fresh
+        materialized view is answered from the view's rows (zero network;
+        see `repro.views.answering`); ``use_views=False`` forces base
+        federation — view refresh itself runs this way, and the bench
+        differential oracle uses it as the ground truth.
         """
         tracer = self.tracer
         if analyze and not tracer.enabled:
@@ -681,6 +794,16 @@ class FederatedEngine:
                 if self.telemetry.enabled:
                     self.telemetry.on_query("cached", rows=len(hit.relation))
                     self.telemetry.tick(self.clock())
+                return result
+        view_fallbacks: list = []
+        if use_views and self._answering is not None:
+            answer, view_fallbacks = self._answering.try_answer(statement)
+            if answer is not None:
+                result = self._finish_view_answer(
+                    answer, result_key, trace, tracer
+                )
+                if self.view_selector is not None:
+                    self.view_selector.observe_hit(answer.view)
                 return result
         if trace is not None:
             trace.root.child("parse", category="parse", sql=canonical)
@@ -729,11 +852,101 @@ class FederatedEngine:
                 size_bytes=result.relation.size_bytes(),
                 cost_seconds=result.elapsed_seconds,
             )
+        if view_fallbacks:
+            # views that matched but were too dirty/stale to serve
+            result.metrics.view_fallbacks += len(view_fallbacks)
+            if self.telemetry.enabled:
+                for name in view_fallbacks:
+                    self.telemetry.on_view(name, "fallback")
         if self.telemetry.enabled:
             self.telemetry.on_query(
                 "partial" if result.is_partial else "ok",
                 seconds=result.elapsed_seconds,
                 rows=len(result.relation),
+            )
+            self.telemetry.tick(self.clock())
+        if (
+            use_views
+            and self.view_selector is not None
+            and canonical is not None
+        ):
+            self.view_selector.observe(canonical, result)
+            self.view_selector.maintain()
+        return result
+
+    def _finish_view_answer(
+        self, answer, result_key: Optional[str], trace, tracer
+    ) -> FederatedResult:
+        """Package a view-answered relation as a full `FederatedResult`.
+
+        Accounting: a local scan of the view's rows at the hub plus the
+        hub→client transfer of the answer — no source queries, no
+        federation bytes. Only *fresh* answers are admitted to the result
+        cache, tagged with the view's base tables (and the view itself) so
+        upstream writes evict them.
+        """
+        from repro.views.answering import ViewProvenance
+
+        metrics = MetricsCollector(network=self.network)
+        if answer.fresh:
+            metrics.view_hits += 1
+        else:
+            metrics.view_stale_serves += 1
+        scan_seconds = answer.rows_scanned * HUB_TIME_PER_COST_UNIT_S
+        metrics.charge_seconds(scan_seconds)
+        transfer_seconds = metrics.record_transfer(
+            "hub",
+            "client",
+            rows=len(answer.relation),
+            payload_bytes=answer.relation.size_bytes(),
+            description=f"view answer from {answer.view}",
+        )
+        plan = FederatedPlan(
+            root=answer.plan,
+            fetches=[],
+            bind_joins=[],
+            assembly_site="hub",
+            est_result_rows=float(len(answer.relation)),
+            est_result_bytes=answer.relation.size_bytes(),
+        )
+        result = FederatedResult(
+            answer.relation,
+            plan,
+            metrics,
+            fetch_seconds=[],
+            elapsed_seconds=scan_seconds + transfer_seconds,
+        )
+        result.view = ViewProvenance(
+            answer.view, answer.kind, answer.staleness_s, answer.fresh
+        )
+        if trace is not None:
+            trace.root.set(
+                rows=len(answer.relation),
+                elapsed_s=result.elapsed_seconds,
+                view=answer.view,
+                view_fresh=answer.fresh,
+            )
+            tracer.finish(trace)
+            result.trace = trace
+        # a stale serve must never be re-served as if it were the live answer
+        if result_key is not None and answer.fresh:
+            self.cache.put_result(
+                result_key,
+                result,
+                tags=answer.tables | {answer.view},
+                size_bytes=answer.relation.size_bytes(),
+                cost_seconds=result.elapsed_seconds,
+            )
+        if self.telemetry.enabled:
+            self.telemetry.on_view(
+                answer.view,
+                "hit" if answer.fresh else "stale",
+                staleness_s=answer.staleness_s,
+            )
+            self.telemetry.on_query(
+                "ok",
+                seconds=result.elapsed_seconds,
+                rows=len(answer.relation),
             )
             self.telemetry.tick(self.clock())
         return result
@@ -778,6 +991,15 @@ class FederatedEngine:
         if self.adaptive is not None:
             # Calibrations describe table contents, so they expire with them.
             self.adaptive.attach(broker)
+        if self.views is not None:
+            # Dirty-mark dependent materialized views dynamically (covers
+            # views defined after attachment, e.g. advisor-created ones).
+            def on_change(message):
+                table = message.payload.get("table")
+                if table:
+                    self.views.on_table_changed(table)
+
+            broker.subscribe("table.*.changed", on_change)
 
     def predict_elapsed(self, plan: FederatedPlan) -> float:
         """Pre-execution prediction of simulated elapsed seconds.
@@ -811,19 +1033,22 @@ class FederatedEngine:
 
     def explain(self, query: Union[str, Select, LogicalPlan]) -> str:
         plan = self.planner.plan(query)
-        lines = [plan.pretty()]
+        report = Report()
+        report.add("plan", plan.pretty())
         try:
             statement, _ = canonical_statement(query)
-            report = self._get_analyzer().analyze(
+            analysis = self._get_analyzer().analyze(
                 statement, query if isinstance(query, str) else None
             )
-            report.extend(self._get_analyzer().verify(plan).diagnostics)
+            analysis.extend(self._get_analyzer().verify(plan).diagnostics)
         except EIIError:
-            report = None
-        if report is not None and len(report):
-            lines.append("diagnostics:")
-            lines.extend(f"  {d.render()}" for d in report)
-        return "\n".join(lines)
+            analysis = None
+        if analysis is not None and len(analysis):
+            report.add("diagnostics", "diagnostics:")
+            report.add(
+                "diagnostics", *(f"  {d.render()}" for d in analysis)
+            )
+        return report.render()
 
     def _get_analyzer(self):
         # imported lazily: repro.analysis imports federation plan nodes, so

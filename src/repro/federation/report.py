@@ -1,0 +1,102 @@
+"""The sectioned result report: one rendering surface for explain output.
+
+`FederatedResult.explain()`, `explain_analyze()` and the shell all render
+through `Report`: an ordered list of named sections, each a list of lines.
+Consumers that need one piece of the output (the replan verdict, the view
+provenance, the completeness line) ask for the section by its stable name
+instead of string-scraping a free-form blob.
+
+Stable section names, in render order:
+
+``plan``, ``replan``, ``metrics``, ``cache``, ``resilience``,
+``adaptive``, ``views``, ``elapsed``, ``breakers``, ``completeness``,
+``diagnostics``, ``analyze``.
+
+A section is present only when it has content, and `render()` joins the
+section lines in order — byte-identical to the historical `explain()`
+text, so nothing downstream notices the refactor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+#: Canonical section order; sections are rendered in this order regardless
+#: of insertion order, unknown names sort last (insertion-ordered).
+SECTION_ORDER = (
+    "plan",
+    "replan",
+    "metrics",
+    "cache",
+    "resilience",
+    "adaptive",
+    "views",
+    "elapsed",
+    "breakers",
+    "completeness",
+    "diagnostics",
+    "analyze",
+)
+
+
+@dataclass
+class ReportSection:
+    """One named block of report lines."""
+
+    name: str
+    lines: list = field(default_factory=list)
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+class Report:
+    """An ordered, named-section report over one query's execution."""
+
+    def __init__(self):
+        self._sections: dict[str, ReportSection] = {}
+
+    def add(self, name: str, *lines: str) -> ReportSection:
+        """Append lines to (creating, if needed) the named section."""
+        section = self._sections.get(name)
+        if section is None:
+            section = self._sections[name] = ReportSection(name)
+        section.lines.extend(lines)
+        return section
+
+    def section(self, name: str) -> Optional[ReportSection]:
+        """The named section, or None when it has no content."""
+        return self._sections.get(name)
+
+    def names(self) -> list[str]:
+        """Present section names, in render order."""
+        return [section.name for section in self._ordered()]
+
+    def render(self) -> str:
+        """All sections' lines, joined in canonical order."""
+        lines: list[str] = []
+        for section in self._ordered():
+            lines.extend(section.lines)
+        return "\n".join(lines)
+
+    def _ordered(self) -> Iterable[ReportSection]:
+        rank = {name: index for index, name in enumerate(SECTION_ORDER)}
+        known = [
+            self._sections[name]
+            for name in SECTION_ORDER
+            if name in self._sections
+        ]
+        extra = [
+            section
+            for name, section in self._sections.items()
+            if name not in rank
+        ]
+        return known + extra
+
+
+def counter_line(section: str, counters: dict) -> str:
+    """`section: k1=v1, k2=v2` with keys sorted — the explain idiom."""
+    return f"{section}: " + ", ".join(
+        f"{key}={value}" for key, value in sorted(counters.items())
+    )

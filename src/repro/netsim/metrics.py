@@ -84,6 +84,11 @@ class MetricsCollector:
     alerts_resolved: int = 0
     health_transitions: int = 0
     slo_breaches: int = 0
+    # answering-queries-using-views telemetry (populated by the engine's
+    # view-answering path; absent from summary() when views are off)
+    view_hits: int = 0
+    view_stale_serves: int = 0
+    view_fallbacks: int = 0
 
     def __post_init__(self):
         # not a dataclass field on purpose: merge()/reset() iterate fields
@@ -248,6 +253,13 @@ class MetricsCollector:
             "slo_breaches": self.slo_breaches,
         }
 
+    def views_summary(self) -> dict:
+        return {
+            "view_hits": self.view_hits,
+            "view_stale_serves": self.view_stale_serves,
+            "view_fallbacks": self.view_fallbacks,
+        }
+
     def summary(self) -> dict:
         """Flat dict used by EXPLAIN output and the benchmark harness.
 
@@ -271,4 +283,7 @@ class MetricsCollector:
         telemetry = self.telemetry_summary()
         if any(telemetry.values()):
             out.update(telemetry)
+        views = self.views_summary()
+        if any(views.values()):
+            out.update(views)
         return out

@@ -17,6 +17,8 @@ Commands:
     \trace              toggle tracing (on by default; off = no-op tracer)
     \workload [n [seed]]  run a seeded n-query multi-tenant workload
                         through the concurrent scheduler (default 25, seed 0)
+    \views              materialized views (staleness, hits) and the
+                        auto-materialization advisor's recommendations
     \health             telemetry dashboard: per-source health, sparklines
     \slo                per-tenant SLO status (burn rates, breaches)
     \alerts             alert history (firing and resolved)
@@ -32,10 +34,11 @@ from __future__ import annotations
 
 import sys
 
+import repro
 from repro.adaptive import AdaptiveContext
 from repro.bench import BenchConfig, build_enterprise
 from repro.common.errors import EIIError
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig
 from repro.netsim import SimClock
 from repro.telemetry import TelemetryPlane
 from repro.trace import QueryScoreboard, Tracer
@@ -52,19 +55,21 @@ class Shell:
         # query's simulated elapsed time, so health/SLO windows roll on the
         # same timeline the netsim charges. Telemetry off keeps the
         # historical wall-clock engine, byte-identical output included.
-        engine_kwargs = {}
+        config = EngineConfig(
+            tracer=self.tracer,
+            adaptive=self.adaptive,
+            views=True,
+            auto_materialize=True,
+        )
         self.clock = None
         self.telemetry = None
         if telemetry:
             self.clock = SimClock()
             self.telemetry = TelemetryPlane(clock=self.clock)
-            engine_kwargs = {"clock": self.clock, "telemetry": self.telemetry}
-        self.engine = FederatedEngine(
-            fixture.catalog(),
-            tracer=self.tracer,
-            adaptive=self.adaptive,
-            **engine_kwargs,
-        )
+            config = config.with_overrides(
+                clock=self.clock, telemetry=self.telemetry
+            )
+        self.engine = repro.connect(fixture.catalog(), config)
         self.show_metrics = True
         self.tracing = True
 
@@ -157,6 +162,9 @@ class Shell:
         if command == "\\workload":
             self._workload(argument.split())
             return True
+        if command == "\\views":
+            self._views()
+            return True
         if command == "\\health":
             if self._telemetry_off():
                 return True
@@ -181,7 +189,8 @@ class Shell:
         self.write(
             f"unknown command {command!r} "
             "(try \\help \\sources \\tables \\explain \\lint \\profile "
-            "\\scoreboard \\feedback \\workload \\health \\slo \\alerts \\quit)"
+            "\\scoreboard \\feedback \\workload \\views \\health \\slo "
+            "\\alerts \\quit)"
         )
         return True
 
@@ -232,6 +241,42 @@ class Shell:
         )
         result = scheduler.run(requests)
         self.write(result.render())
+
+    def _views(self) -> None:
+        """Materialized-view status plus the advisor's current ranking."""
+        manager = self.engine.views
+        if manager is None:
+            self.write("views are off (EngineConfig(views=True) to enable)")
+            return
+        names = manager.materialized_names()
+        if not names:
+            self.write("no materialized views yet")
+        else:
+            now = self.clock() if self.clock is not None else None
+            for name in names:
+                view = manager.view(name)
+                state = "dirty" if view.dirty else "fresh"
+                self.write(
+                    f"  {name:20} {state:5} "
+                    f"staleness={view.staleness(now):8.1f}s "
+                    f"refreshes={view.refresh_count} serves={view.serve_count}"
+                )
+        selector = self.engine.view_selector
+        if selector is None:
+            return
+        recommendations = selector.recommendations(limit=5)
+        if recommendations:
+            self.write("advisor ranking (benefit = repeats x seconds / byte):")
+        for rec in recommendations:
+            status = (
+                f"materialized as {rec.materialized_as}"
+                if rec.materialized_as
+                else "candidate"
+            )
+            sql = rec.sql if len(rec.sql) <= 56 else rec.sql[:53] + "..."
+            self.write(
+                f"  {rec.benefit:10.2e}  x{rec.count:<3} {status:28} {sql}"
+            )
 
     def _lint(self, argument: str) -> None:
         """Static analysis of one query, or of a workspace directory."""

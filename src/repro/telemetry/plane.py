@@ -46,6 +46,9 @@ class NullTelemetry:
     def on_query(self, *args, **kwargs) -> None:
         return None
 
+    def on_view(self, *args, **kwargs) -> None:
+        return None
+
     def on_retry(self, *args, **kwargs) -> None:
         return None
 
@@ -181,6 +184,22 @@ class TelemetryPlane:
             self.registry.counter(
                 "eii_query_rows_total", "rows returned to clients"
             ).inc(rows)
+
+    def on_view(self, view: str, status: str, staleness_s: float = 0.0) -> None:
+        """A view-answering outcome: hit, stale (served), or fallback."""
+        name = view.lower()
+        with self._lock:
+            self.registry.counter(
+                "eii_view_answers_total",
+                "view-answered queries by view and status",
+                view=name,
+                status=status,
+            ).inc()
+            if status in ("hit", "stale"):
+                self.registry.histogram(
+                    "eii_view_staleness_seconds",
+                    "staleness of view-answered results",
+                ).observe(staleness_s)
 
     # -- resilience hooks --------------------------------------------------------
 

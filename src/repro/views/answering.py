@@ -1,0 +1,532 @@
+"""Answering queries using views: match, verify, rewrite, serve.
+
+The semantic-caching half of Halevy's "views as the central metaphor":
+instead of federating a SELECT across sources, find a registered
+materialized view that *subsumes* it and compensate locally over the view's
+rows — zero network, one local scan.
+
+Matching is conservative subsumption over normalized `QueryShape`s
+(`repro.views.catalog`):
+
+* same real table set, view conjuncts a subset of query conjuncts (the
+  residual becomes the compensation's WHERE);
+* join structure verified with the classical conjunctive-query containment
+  check (`repro.mediator.cq.is_contained_in`) for pure-inner shapes, and by
+  exact join-signature equality when LEFT joins are involved;
+* aggregate views answer aggregate queries by **exact** group match (plain
+  projection, HAVING folded into WHERE) or by **rollup**: a view grouped by
+  (a, b) answers a query grouped by (a) via re-aggregation with the usual
+  derivations — COUNT→SUM, SUM→SUM, MIN→MIN, MAX→MAX, AVG→SUM/COUNT.
+
+Serving is staleness-aware (`ServePolicy`): a dirty or over-stale view
+falls back to base federation by default (row identity guaranteed), or —
+with ``serve_stale`` — answers anyway, annotated as stale and never
+admitted to the result cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import EIIError
+from repro.engine.executor import LocalEngine
+from repro.mediator.cq import Atom, ConjunctiveQuery, Var, is_contained_in
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    CaseWhen,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    OrderItem,
+    Select,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.exprutil import column_refs, conjoin
+from repro.sql.functions import is_aggregate_name
+from repro.storage.catalog import Database
+from repro.views.catalog import (
+    CompiledView,
+    QueryShape,
+    ServePolicy,
+    canonical_text,
+    compile_shape,
+    compile_view,
+)
+
+
+@dataclass(frozen=True)
+class ViewProvenance:
+    """How a result was answered from a view — carried on FederatedResult."""
+
+    view: str
+    kind: str  # "spj" | "exact" | "rollup"
+    staleness_s: float
+    fresh: bool
+
+    def describe(self) -> str:
+        state = "fresh" if self.fresh else "STALE"
+        return (
+            f"view: {self.view} ({self.kind}, "
+            f"staleness={self.staleness_s:.1f}s, {state})"
+        )
+
+
+@dataclass
+class ViewAnswer:
+    """One successful view rewrite, evaluated over the view's rows."""
+
+    relation: object
+    view: str
+    kind: str
+    staleness_s: float
+    fresh: bool
+    select: Select  # the compensation, over the view as a table
+    tables: frozenset  # base tables under the view (for cache tags)
+    rows_scanned: int
+    plan: Optional[object] = None  # logical plan of the compensation
+
+
+class _RewriteFailed(Exception):
+    """Internal: the compensation cannot be expressed over this view."""
+
+
+def _view_col(view: CompiledView, text: str) -> ColumnRef:
+    return ColumnRef(view.outputs[text].lower())
+
+
+def _rebuild(node: Expr, fn: Callable) -> Expr:
+    """Rebuild one non-leaf node with `fn`-rewritten children."""
+    if isinstance(node, BinaryOp):
+        return BinaryOp(node.op, fn(node.left), fn(node.right))
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op, fn(node.operand))
+    if isinstance(node, FuncCall):
+        return FuncCall(node.name, tuple(fn(arg) for arg in node.args), node.distinct)
+    if isinstance(node, IsNull):
+        return IsNull(fn(node.operand), node.negated)
+    if isinstance(node, InList):
+        return InList(fn(node.operand), tuple(fn(i) for i in node.items), node.negated)
+    if isinstance(node, Like):
+        return Like(fn(node.operand), fn(node.pattern), node.negated)
+    if isinstance(node, Between):
+        return Between(fn(node.operand), fn(node.low), fn(node.high), node.negated)
+    if isinstance(node, CaseWhen):
+        return CaseWhen(
+            tuple((fn(c), fn(v)) for c, v in node.whens),
+            fn(node.default) if node.default is not None else None,
+        )
+    raise _RewriteFailed(f"unsupported node {type(node).__name__}")
+
+
+def _rewrite_plain(expr: Expr, view: CompiledView) -> Expr:
+    """SPJ rewrite: map whole matching expressions (then columns) to view
+    outputs; aggregates recompute over the view's rows."""
+    text = canonical_text(expr)
+    if text in view.outputs and text not in view.aggregate_outputs:
+        return _view_col(view, text)
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier is None:
+            return expr  # reference to the query's own output alias
+        raise _RewriteFailed(f"column {expr} not exposed by view")
+    if isinstance(expr, (Literal, Star)):
+        return expr
+    return _rebuild(expr, lambda node: _rewrite_plain(node, view))
+
+
+def _rewrite_exact(expr: Expr, view: CompiledView) -> Expr:
+    """Exact-group rewrite: one view row per group, so aggregate outputs are
+    referenced directly; AVG derives from SUM/COUNT when not stored."""
+    text = canonical_text(expr)
+    if text in view.outputs:
+        return _view_col(view, text)
+    if isinstance(expr, FuncCall) and is_aggregate_name(expr.name):
+        if expr.distinct:
+            raise _RewriteFailed("DISTINCT aggregates are not derivable")
+        if expr.name == "AVG" and len(expr.args) == 1:
+            sum_col, count_col = _avg_parts(view, expr.args[0])
+            return BinaryOp("/", sum_col, count_col)
+        raise _RewriteFailed(f"aggregate {text} not exposed by view")
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier is None:
+            return expr
+        raise _RewriteFailed(f"column {expr} not exposed by view")
+    if isinstance(expr, (Literal, Star)):
+        return expr
+    return _rebuild(expr, lambda node: _rewrite_exact(node, view))
+
+
+def _rewrite_rollup(expr: Expr, view: CompiledView) -> Expr:
+    """Rollup rewrite: re-aggregate over coarser groups with the standard
+    derivations (COUNT→SUM, SUM→SUM, MIN→MIN, MAX→MAX, AVG→SUM/SUM)."""
+    if isinstance(expr, FuncCall) and is_aggregate_name(expr.name):
+        if expr.distinct:
+            raise _RewriteFailed("DISTINCT aggregates do not roll up")
+        text = canonical_text(expr)
+        stored = view.aggregate_outputs.get(text)
+        if expr.name in ("MIN", "MAX"):
+            if stored is None:
+                raise _RewriteFailed(f"{text} not exposed by view")
+            return FuncCall(expr.name, (ColumnRef(stored.lower()),))
+        if expr.name in ("COUNT", "SUM"):
+            if stored is None:
+                raise _RewriteFailed(f"{text} not exposed by view")
+            return FuncCall("SUM", (ColumnRef(stored.lower()),))
+        if expr.name == "AVG" and len(expr.args) == 1:
+            sum_col, count_col = _avg_parts(view, expr.args[0])
+            return BinaryOp(
+                "/",
+                FuncCall("SUM", (sum_col,)),
+                FuncCall("SUM", (count_col,)),
+            )
+        raise _RewriteFailed(f"aggregate {text} does not roll up")
+    text = canonical_text(expr)
+    if text in view.outputs and text not in view.aggregate_outputs:
+        return _view_col(view, text)
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier is None:
+            return expr
+        raise _RewriteFailed(f"column {expr} not exposed by view")
+    if isinstance(expr, (Literal, Star)):
+        return expr
+    return _rebuild(expr, lambda node: _rewrite_rollup(node, view))
+
+
+def _avg_parts(view: CompiledView, arg: Expr) -> tuple:
+    """The stored SUM and COUNT columns AVG(arg) derives from."""
+    arg_text = str(arg)
+    stored_sum = view.aggregate_outputs.get(f"SUM({arg_text})")
+    stored_count = view.aggregate_outputs.get(
+        f"COUNT({arg_text})"
+    ) or view.aggregate_outputs.get("COUNT(*)")
+    if stored_sum is None or stored_count is None:
+        raise _RewriteFailed(f"AVG({arg_text}) not derivable from view")
+    return ColumnRef(stored_sum.lower()), ColumnRef(stored_count.lower())
+
+
+# ---------------------------------------------------------------------------
+# Containment verification (pure-inner shapes)
+# ---------------------------------------------------------------------------
+
+
+class _UnionFind:
+    def __init__(self):
+        self.parent: dict = {}
+
+    def find(self, key):
+        root = key
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        while self.parent.get(key, key) != key:
+            self.parent[key], key = root, self.parent[key]
+        return root
+
+    def union(self, a, b):
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[max(ra, rb)] = min(ra, rb)
+
+
+def _shape_cq(shape: QueryShape, name: str, head_keys, catalog) -> ConjunctiveQuery:
+    """The shape's equality skeleton as a conjunctive query.
+
+    Variables are named by the union-find representative of each
+    `table.column` equivalence class; column = literal conjuncts substitute
+    the constant. Non-equality conjuncts are dropped — sound here, because
+    dropping restrictions only widens the query being checked for
+    containment (and the view side's extra conjuncts were already required
+    to appear textually in the query).
+    """
+    classes = _UnionFind()
+    constants: dict = {}
+    for expr in shape.conjuncts.values():
+        if not (isinstance(expr, BinaryOp) and expr.op == "="):
+            continue
+        left, right = expr.left, expr.right
+        if (
+            isinstance(left, ColumnRef)
+            and left.qualifier
+            and isinstance(right, ColumnRef)
+            and right.qualifier
+        ):
+            classes.union(str(left), str(right))
+        elif isinstance(left, ColumnRef) and left.qualifier and isinstance(right, Literal):
+            constants[str(left)] = right.value
+        elif isinstance(right, ColumnRef) and right.qualifier and isinstance(left, Literal):
+            constants[str(right)] = left.value
+
+    by_class: dict = {}
+    for key, value in constants.items():
+        by_class[classes.find(key)] = value
+
+    def term(key: str):
+        rep = classes.find(key)
+        if rep in by_class:
+            return by_class[rep]
+        return Var(f"V_{rep.replace('.', '_')}")
+
+    body = []
+    for table in sorted(shape.tables):
+        columns = catalog.entry(table).schema.names
+        body.append(
+            Atom(table, tuple(term(f"{table}.{col.lower()}") for col in columns))
+        )
+    head = tuple(term(key) for key in sorted(head_keys))
+    return ConjunctiveQuery(name, head, tuple(body))
+
+
+def _verify_containment(q: QueryShape, v: QueryShape, catalog) -> bool:
+    """q ⊆ v on the equality skeleton (canonical-database theorem)."""
+    head_keys = q.needed_columns()
+    try:
+        q_cq = _shape_cq(q, "q", head_keys, catalog)
+        v_cq = _shape_cq(v, "v", head_keys, catalog)
+    except EIIError:
+        return False
+    return is_contained_in(q_cq, v_cq)
+
+
+# ---------------------------------------------------------------------------
+# Matching
+# ---------------------------------------------------------------------------
+
+
+def match_and_rewrite(
+    q: QueryShape, view: CompiledView, catalog
+) -> Optional[tuple]:
+    """Try to answer shape `q` from `view`: returns (Select, kind) or None.
+
+    The returned Select reads the view as a single local table named after
+    the view, with the query's output names preserved as aliases.
+    """
+    v = view.shape
+    if q.tables != v.tables:
+        return None
+    if q.has_left or v.has_left:
+        if q.has_left != v.has_left or q.join_sig != v.join_sig:
+            return None
+    if not set(v.conjuncts) <= set(q.conjuncts):
+        return None
+    residual = [
+        expr for text, expr in q.conjuncts.items() if text not in v.conjuncts
+    ]
+    if not q.has_left and not _verify_containment(q, v, catalog):
+        return None
+
+    if v.is_aggregate:
+        if not q.is_aggregate:
+            return None
+        # pre-aggregation filters and grouping must ride on view group keys
+        for conj in residual:
+            for ref in column_refs(conj):
+                if ref.qualifier is None:
+                    return None
+                text = str(ref)
+                if text not in view.outputs or text not in v.group_texts:
+                    return None
+        if not (q.group_texts <= v.group_texts):
+            return None
+        if any(text not in view.outputs for text, _ in q.group):
+            return None
+        exact = q.group_texts == v.group_texts
+        rewriter = _rewrite_exact if exact else _rewrite_rollup
+        kind = "exact" if exact else "rollup"
+    else:
+        rewriter = _rewrite_plain
+        kind = "spj"
+
+    def rw(expr: Expr) -> Expr:
+        return rewriter(expr, view)
+
+    try:
+        items = tuple(SelectItem(rw(item.expr), alias=item.name) for item in q.items)
+        where_parts = [_rewrite_plain(conj, view) for conj in residual]
+        having: Optional[Expr] = None
+        if kind == "exact":
+            # one view row per group: grouping disappears, HAVING filters rows
+            group_by: tuple = ()
+            if q.having is not None:
+                where_parts.append(rw(q.having))
+        else:
+            group_by = tuple(rw(expr) for _, expr in q.group)
+            if q.having is not None:
+                having = rw(q.having)
+        order_by = tuple(
+            OrderItem(rw(order.expr), order.ascending) for order in q.order_by
+        )
+    except _RewriteFailed:
+        return None
+
+    rewritten = Select(
+        items=items,
+        from_tables=(TableRef(view.name),),
+        joins=(),
+        where=conjoin(where_parts) if where_parts else None,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=q.limit,
+        distinct=q.distinct,
+    )
+    return rewritten, kind
+
+
+# ---------------------------------------------------------------------------
+# The serving layer
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Scratch:
+    """A view's rows staged as a local single-table database."""
+
+    stamp: tuple
+    engine: Optional[LocalEngine]
+    rows: int
+
+
+class ViewAnswering:
+    """Matches engine SELECTs against the engine's materialized views.
+
+    Owned by `FederatedEngine`; `try_answer` is called on the query path
+    (result-cache miss, before planning). Thread-safe: one lock serializes
+    matching, refresh decisions and scratch staging. Nested engine queries
+    issued by view refresh run with ``use_views=False``, so the lock is
+    never re-entered.
+    """
+
+    def __init__(self, engine, policy: Optional[ServePolicy] = None):
+        self.engine = engine
+        self.policy = policy or ServePolicy()
+        self._lock = threading.Lock()
+        #: view name -> (sql, CompiledView | None when uncompilable)
+        self._compiled: dict = {}
+        self._scratch: dict = {}
+
+    # -- compile caches --------------------------------------------------------
+
+    def _compiled_view(self, name: str, sql: str) -> Optional[CompiledView]:
+        cached = self._compiled.get(name)
+        if cached is not None and cached[0] == sql:
+            return cached[1]
+        from repro.sql.parser import parse
+
+        compiled: Optional[CompiledView] = None
+        try:
+            statement = parse(sql)
+            if isinstance(statement, Select):
+                compiled = compile_view(name, sql, statement, self.engine.catalog)
+        except EIIError:
+            compiled = None
+        self._compiled[name] = (sql, compiled)
+        return compiled
+
+    def _scratch_for(self, name: str, view, compiled: CompiledView) -> Optional[_Scratch]:
+        stamp = (view.refreshed_at, view.refresh_count)
+        scratch = self._scratch.get(name)
+        if scratch is not None and scratch.stamp == stamp:
+            return scratch if scratch.engine is not None else None
+        relation = view.data
+        scratch = _Scratch(stamp, None, len(relation.rows))
+        have = {column.name.lower() for column in relation.schema.columns}
+        want = {output.lower() for output in compiled.outputs.values()}
+        if want <= have:
+            db = Database(f"view_{name}")
+            db.create_table(
+                name, [(column.name, column.dtype) for column in relation.schema.columns]
+            )
+            table = db.table(name)
+            for row in relation.rows:
+                table.insert(row)
+            scratch.engine = LocalEngine(db)
+        self._scratch[name] = scratch
+        return scratch if scratch.engine is not None else None
+
+    # -- the answer path -------------------------------------------------------
+
+    def try_answer(self, statement) -> tuple:
+        """Try to answer `statement` from a materialized view.
+
+        Returns ``(ViewAnswer | None, fallback_view_names)`` —
+        ``fallback_view_names`` lists views that *matched* but were too
+        stale to serve under the policy (recorded as view_fallbacks).
+        """
+        if not isinstance(statement, Select):
+            return None, []
+        manager = getattr(self.engine, "views", None)
+        if manager is None:
+            return None, []
+        with self._lock:
+            try:
+                q = compile_shape(statement, self.engine.catalog)
+            except EIIError:
+                return None, []
+            fallbacks: list = []
+            for name in manager.materialized_names():
+                view = manager.materialized(name)
+                compiled = self._compiled_view(name, view.sql)
+                if compiled is None:
+                    continue
+                match = match_and_rewrite(q, compiled, self.engine.catalog)
+                if match is None:
+                    continue
+                rewritten, kind = match
+                answer = self._serve(name, view, compiled, rewritten, kind, fallbacks)
+                if answer is not None:
+                    return answer, fallbacks
+            return None, fallbacks
+
+    def _serve(
+        self, name, view, compiled, rewritten, kind, fallbacks
+    ) -> Optional[ViewAnswer]:
+        from repro.views.manager import RefreshPolicy
+
+        manager = self.engine.views
+        try:
+            if view.policy == RefreshPolicy.ON_QUERY:
+                manager.refresh(name)
+            elif view.policy == RefreshPolicy.INTERVAL and (
+                view.data is None
+                or view.dirty
+                or view.staleness() > view.interval_s
+            ):
+                manager.refresh(name)
+        except EIIError:
+            return None
+        if view.data is None:
+            fallbacks.append(name)
+            return None
+        staleness = view.staleness()
+        fresh = self.policy.is_fresh(view.dirty, staleness)
+        if not fresh and not self.policy.serve_stale:
+            fallbacks.append(name)
+            return None
+        scratch = self._scratch_for(name, view, compiled)
+        if scratch is None:
+            return None
+        try:
+            relation = scratch.engine.query(rewritten)
+            plan = scratch.engine.logical_plan(rewritten)
+        except EIIError:
+            return None
+        view.serve_count += 1
+        return ViewAnswer(
+            relation=relation,
+            view=name,
+            kind=kind,
+            staleness_s=staleness,
+            fresh=fresh,
+            select=rewritten,
+            tables=compiled.base_tables,
+            rows_scanned=scratch.rows,
+            plan=plan,
+        )

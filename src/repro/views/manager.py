@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 import enum
+import inspect
 import time
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.common.errors import SchemaError
 from repro.common.relation import Relation
@@ -35,12 +36,24 @@ class MaterializedView:
     dirty: bool = False
     #: cumulative simulated seconds spent refreshing (the "ETL cost")
     refresh_seconds: float = 0.0
+    #: the owning manager's clock, set at define time so staleness runs on
+    #: engine time (SimClock under benchmarks), not wall-clock
+    clock: Optional[Callable[[], float]] = None
 
     def staleness(self, now: Optional[float] = None) -> float:
-        """Seconds since the last refresh (inf if never refreshed)."""
+        """Seconds since the last refresh (inf if never refreshed).
+
+        With no explicit `now`, reads the view's own clock — the manager's
+        (and hence the engine's) clock — falling back to wall time only for
+        standalone instances. Historically this always used `time.time`,
+        which made INTERVAL refresh and staleness accounting
+        non-deterministic whenever the engine ran on a `SimClock`.
+        """
         if self.refreshed_at is None:
             return float("inf")
-        return max((now if now is not None else time.time()) - self.refreshed_at, 0.0)
+        if now is None:
+            now = self.clock() if self.clock is not None else time.time()
+        return max(now - self.refreshed_at, 0.0)
 
 
 class ViewManager:
@@ -52,11 +65,17 @@ class ViewManager:
     drive simulated time deterministically.
     """
 
-    def __init__(self, engine, clock=time.time):
+    def __init__(self, engine, clock=None):
         self.engine = engine
-        self.clock = clock
+        # default to the engine's clock so staleness is deterministic under
+        # a SimClock; an explicit clock argument still wins
+        self.clock = clock or getattr(engine, "clock", None) or time.time
         self._virtual: dict[str, str] = {}
         self._materialized: dict[str, MaterializedView] = {}
+        self._dependencies: dict[str, frozenset] = {}
+        self._supports_use_views = (
+            "use_views" in inspect.signature(engine.query).parameters
+        )
 
     # -- definition ---------------------------------------------------------------
 
@@ -73,7 +92,7 @@ class ViewManager:
         refresh_now: bool = True,
     ) -> MaterializedView:
         self._check_free(name)
-        view = MaterializedView(name, sql, policy, interval_s)
+        view = MaterializedView(name, sql, policy, interval_s, clock=self.clock)
         self._materialized[name.lower()] = view
         if refresh_now:
             self.refresh(name)
@@ -85,17 +104,51 @@ class ViewManager:
             del self._virtual[key]
         elif key in self._materialized:
             del self._materialized[key]
+            self._dependencies.pop(key, None)
         else:
             raise SchemaError(f"no view {name!r}")
 
     def names(self) -> list[str]:
         return sorted(list(self._virtual) + list(self._materialized))
 
+    def materialized_names(self) -> list[str]:
+        """Materialized view names only (the matchable population)."""
+        return sorted(self._materialized)
+
+    def materialized(self, name: str) -> MaterializedView:
+        """Alias of `view`, named for the answering layer's call sites."""
+        return self.view(name)
+
     def view(self, name: str) -> MaterializedView:
         view = self._materialized.get(name.lower())
         if view is None:
             raise SchemaError(f"no materialized view {name!r}")
         return view
+
+    def dependencies(self, name: str) -> frozenset:
+        """Base tables the named materialized view reads (cached per SQL)."""
+        view = self.view(name)
+        key = name.lower()
+        cached = self._dependencies.get(key)
+        if cached is None:
+            from repro.views.invalidation import table_dependencies
+
+            cached = self._dependencies[key] = frozenset(
+                table_dependencies(view.sql)
+            )
+        return cached
+
+    def on_table_changed(self, table: str) -> None:
+        """Mark every view reading `table` dirty.
+
+        Unlike `wire_invalidation` (which snapshots dependencies at wiring
+        time), this recomputes lazily per view, so views defined *after*
+        the broker was attached — e.g. advisor-created ones — are covered.
+        """
+        wanted = table.lower()
+        for name in list(self._materialized):
+            if wanted in self.dependencies(name):
+                self.mark_dirty(name)
 
     # -- reads ---------------------------------------------------------------------
 
@@ -152,6 +205,9 @@ class ViewManager:
             raise SchemaError(f"view {name!r} already defined")
 
     def _query(self, sql: str):
+        # refresh queries must not themselves be answered from views
+        if self._supports_use_views:
+            return self.engine.query(sql, use_views=False)
         return self.engine.query(sql)
 
     def _run(self, sql: str) -> Relation:

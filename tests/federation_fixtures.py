@@ -1,7 +1,7 @@
 """Reusable multi-source federation fixture (the smoke-test enterprise)."""
 
 from repro.common.types import DataType as T
-from repro.federation import FederatedEngine, FederationCatalog
+from repro.federation import EngineConfig, FederatedEngine, FederationCatalog
 from repro.sources import CsvSource, RelationalSource, WebServiceSource
 from repro.storage import Database
 from repro.wrappers import QUIRK_AWARE
@@ -107,4 +107,4 @@ def build_catalog(
 
 
 def build_engine(**kwargs) -> FederatedEngine:
-    return FederatedEngine(build_catalog(), **kwargs)
+    return FederatedEngine(build_catalog(), EngineConfig(**kwargs))

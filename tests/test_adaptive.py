@@ -28,7 +28,7 @@ from repro.engine.logical import (
     LogicalProject,
     LogicalScan,
 )
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 from repro.federation.planner import FederatedPlanner
 from repro.sources import RelationalSource
 from repro.sql.ast import ColumnRef, SelectItem
@@ -295,10 +295,7 @@ class TestJoinSearchKnob:
 
     def test_greedy_and_dp_paths_agree_on_rows(self):
         dp = FederatedEngine(build_catalog())
-        greedy = FederatedEngine(
-            build_catalog(),
-            planner=FederatedPlanner(build_catalog(), join_dp_limit=1),
-        )
+        greedy = FederatedEngine(build_catalog(), EngineConfig(planner=FederatedPlanner(build_catalog(), join_dp_limit=1)))
         assert (
             dp.query(self.SQL).relation.sorted().rows
             == greedy.query(self.SQL).relation.sorted().rows
@@ -347,7 +344,7 @@ class TestLptScheduler:
 class TestEngineFeedback:
     def test_store_populates_and_second_run_hits_calibrations(self):
         adaptive = AdaptiveContext(AdaptivePolicy(replan=False, lpt=False))
-        engine = FederatedEngine(build_catalog(), adaptive=adaptive)
+        engine = FederatedEngine(build_catalog(), EngineConfig(adaptive=adaptive))
         sql = "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
         engine.query(sql)
         assert len(adaptive.store) >= 2  # one calibration per fetch
@@ -357,7 +354,7 @@ class TestEngineFeedback:
 
     def test_bind_join_chunks_record_per_key_rows(self):
         adaptive = AdaptiveContext(AdaptivePolicy(replan=False, lpt=False))
-        engine = FederatedEngine(build_catalog(), adaptive=adaptive)
+        engine = FederatedEngine(build_catalog(), EngineConfig(adaptive=adaptive))
         engine.query(
             "SELECT c.name, s.score FROM customers c "
             "JOIN credit s ON c.id = s.cust_id"
@@ -370,7 +367,7 @@ class TestEngineFeedback:
 
     def test_plan_cache_respects_feedback_generation(self):
         adaptive = AdaptiveContext(AdaptivePolicy(replan=False, lpt=False))
-        engine = FederatedEngine(build_catalog(), adaptive=adaptive)
+        engine = FederatedEngine(build_catalog(), EngineConfig(adaptive=adaptive))
         sql = "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
         # Run 1 plans cold and its execution moves the feedback generation,
         # so run 2 must re-plan (stale generation) while run 3 — generation
@@ -381,7 +378,7 @@ class TestEngineFeedback:
 
     def test_broker_event_drops_engine_calibrations(self):
         adaptive = AdaptiveContext(AdaptivePolicy(replan=False, lpt=False))
-        engine = FederatedEngine(build_catalog(), adaptive=adaptive)
+        engine = FederatedEngine(build_catalog(), EngineConfig(adaptive=adaptive))
         broker = MessageBroker()
         engine.attach_invalidation(broker)
         engine.query("SELECT o.total FROM orders o")
@@ -395,13 +392,7 @@ class TestEngineFeedback:
 
 class TestMidQueryReplan:
     def test_replan_fires_on_misestimated_fetch(self):
-        engine = FederatedEngine(
-            build_skewed_catalog(big_factor=0.01),
-            adaptive=AdaptiveContext(AdaptivePolicy(lpt=False)),
-            tracer=Tracer(),
-            parallel_workers=1,
-            semijoin="off",
-        )
+        engine = FederatedEngine(build_skewed_catalog(big_factor=0.01), EngineConfig(adaptive=AdaptiveContext(AdaptivePolicy(lpt=False)), tracer=Tracer(), parallel_workers=1, semijoin="off"))
         result = engine.query(THREE_WAY)
         assert result.replan is not None
         assert result.replan.worst_ratio >= 4.0
@@ -409,20 +400,13 @@ class TestMidQueryReplan:
         assert "replanned" in result.explain()
         assert "plan.reoptimized" in event_names(result.trace)
         # The replanned answer must equal the truthful-statistics answer.
-        oracle = FederatedEngine(
-            build_skewed_catalog(big_factor=1.0), semijoin="off"
-        ).query(THREE_WAY)
+        oracle = FederatedEngine(build_skewed_catalog(big_factor=1.0), EngineConfig(semijoin="off")).query(THREE_WAY)
         assert result.relation.sorted().rows == oracle.relation.sorted().rows
 
     def test_replan_converts_oversized_bind_join(self):
         catalog = build_skewed_catalog(big_factor=0.01)
         planner = FederatedPlanner(catalog, max_bind_keys=50)
-        engine = FederatedEngine(
-            catalog,
-            planner=planner,
-            adaptive=AdaptiveContext(AdaptivePolicy(lpt=False)),
-            parallel_workers=1,
-        )
+        engine = FederatedEngine(catalog, EngineConfig(planner=planner, adaptive=AdaptiveContext(AdaptivePolicy(lpt=False)), parallel_workers=1))
         # The mediator believes orders_big has ~5 rows, so it drives a bind
         # join off it; the actual 500 driver rows exceed max_bind_keys and
         # must be demoted to a plain fetch + hash join mid-query.
@@ -438,23 +422,15 @@ class TestMidQueryReplan:
         assert result.relation.sorted().rows == oracle.relation.sorted().rows
 
     def test_accurate_estimates_leave_plan_alone(self):
-        engine = FederatedEngine(
-            build_skewed_catalog(big_factor=1.0),  # truthful statistics
-            adaptive=True,
-            parallel_workers=1,
-        )
+        engine = FederatedEngine(build_skewed_catalog(big_factor=1.0), EngineConfig(# truthful statistics
+            adaptive=True, parallel_workers=1))
         result = engine.query(THREE_WAY)
         assert result.replan is None
         assert result.metrics.replans == 0
 
     def test_second_run_plans_differently_from_calibrations(self):
         adaptive = AdaptiveContext(AdaptivePolicy(lpt=False))
-        engine = FederatedEngine(
-            build_skewed_catalog(big_factor=0.01),
-            adaptive=adaptive,
-            parallel_workers=1,
-            semijoin="off",
-        )
+        engine = FederatedEngine(build_skewed_catalog(big_factor=0.01), EngineConfig(adaptive=adaptive, parallel_workers=1, semijoin="off"))
         cold = engine.query(THREE_WAY)
         warm = engine.query(THREE_WAY)
         # The calibrated planner should agree with the mid-query replanner,
@@ -473,12 +449,8 @@ class TestEngineScheduling:
         # The crm source's capability profile makes its fetch the predicted
         # straggler; writing it second forces LPT to move it up front.
         sql = "SELECT id FROM orders UNION ALL SELECT id FROM customers"
-        static = FederatedEngine(build_catalog(), parallel_workers=2)
-        adaptive = FederatedEngine(
-            build_catalog(),
-            parallel_workers=2,
-            adaptive=AdaptiveContext(AdaptivePolicy(feedback=False, replan=False)),
-        )
+        static = FederatedEngine(build_catalog(), EngineConfig(parallel_workers=2))
+        adaptive = FederatedEngine(build_catalog(), EngineConfig(parallel_workers=2, adaptive=AdaptiveContext(AdaptivePolicy(feedback=False, replan=False))))
         baseline = static.query(sql)
         result = adaptive.query(sql)
         assert result.metrics.lpt_reorders == 1
@@ -493,12 +465,7 @@ class TestEngineScheduling:
         off = AdaptivePolicy(feedback=False, replan=False, lpt=False)
 
         def run(adaptive):
-            engine = FederatedEngine(
-                build_catalog(),
-                tracer=Tracer(),
-                parallel_workers=1,
-                adaptive=adaptive,
-            )
+            engine = FederatedEngine(build_catalog(), EngineConfig(tracer=Tracer(), parallel_workers=1, adaptive=adaptive))
             results = [engine.query(sql) for _ in range(2)]
             return [
                 (r.relation.rows, r.trace.to_json(), r.metrics.summary())

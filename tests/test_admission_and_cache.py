@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.errors import AdmissionError
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 
 from tests.federation_fixtures import build_catalog
 
@@ -23,11 +23,11 @@ class FakeClock:
 
 class TestAdmissionControl:
     def test_cheap_query_admitted(self):
-        engine = FederatedEngine(build_catalog(), admission_budget_s=10.0)
+        engine = FederatedEngine(build_catalog(), EngineConfig(admission_budget_s=10.0))
         assert len(engine.query(CHEAP).relation) == 1
 
     def test_expensive_query_rejected_with_prediction(self):
-        engine = FederatedEngine(build_catalog(), admission_budget_s=1e-6)
+        engine = FederatedEngine(build_catalog(), EngineConfig(admission_budget_s=1e-6))
         with pytest.raises(AdmissionError) as excinfo:
             engine.query(EXPENSIVE)
         assert excinfo.value.predicted_seconds is not None
@@ -45,7 +45,7 @@ class TestAdmissionControl:
 
     def test_rejected_query_touches_no_source(self):
         catalog = build_catalog()
-        engine = FederatedEngine(catalog, admission_budget_s=1e-9)
+        engine = FederatedEngine(catalog, EngineConfig(admission_budget_s=1e-9))
         before = list(catalog.sources["sales"].query_log)
         with pytest.raises(AdmissionError):
             engine.query(EXPENSIVE)
@@ -55,7 +55,7 @@ class TestAdmissionControl:
 class TestResultCache:
     def make(self, ttl=60.0):
         clock = FakeClock()
-        engine = FederatedEngine(build_catalog(), cache_ttl_s=ttl, clock=clock)
+        engine = FederatedEngine(build_catalog(), EngineConfig(cache_ttl_s=ttl, clock=clock))
         return engine, clock
 
     def test_second_read_served_from_cache(self):

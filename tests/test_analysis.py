@@ -20,7 +20,7 @@ from repro.analysis import (
 )
 from repro.common.types import DataType
 from repro.engine.executor import LocalEngine
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 from repro.federation.nodes import LogicalFetch
 from repro.federation.planner import FederatedPlanner
 from repro.mediator.cq import parse_cq
@@ -390,7 +390,7 @@ class TestPlanInvariants:
 
 class TestEngineIntegration:
     def test_infeasible_query_rejected_with_zero_bytes(self, catalog):
-        engine = FederatedEngine(catalog, validate=True)
+        engine = FederatedEngine(catalog, EngineConfig(validate=True))
         with pytest.raises(AnalysisError) as exc:
             engine.query("SELECT * FROM credit")
         assert exc.value.report.has("EII201")
@@ -400,13 +400,13 @@ class TestEngineIntegration:
         assert exc.value.metrics.source_queries == {}
 
     def test_unknown_column_rejected_before_planning(self, catalog):
-        engine = FederatedEngine(catalog, validate=True)
+        engine = FederatedEngine(catalog, EngineConfig(validate=True))
         with pytest.raises(AnalysisError) as exc:
             engine.query("SELECT c.bogus FROM customers c")
         assert exc.value.report.has("EII102")
 
     def test_valid_query_unaffected_by_validation(self, catalog):
-        strict = FederatedEngine(catalog, validate=True)
+        strict = FederatedEngine(catalog, EngineConfig(validate=True))
         loose = FederatedEngine(build_catalog())
         sql = (
             "SELECT c.name, o.total FROM customers c, orders o "
@@ -422,7 +422,7 @@ class TestEngineIntegration:
         assert not isinstance(exc.value, AnalysisError)
 
     def test_explain_surfaces_warnings(self, catalog):
-        engine = FederatedEngine(catalog, validate=True)
+        engine = FederatedEngine(catalog, EngineConfig(validate=True))
         text = engine.explain("SELECT r.region FROM regions r")
         assert "diagnostics:" in text
         assert "EII204" in text

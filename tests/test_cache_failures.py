@@ -16,7 +16,7 @@ import pytest
 
 from repro.cache import CacheConfig, CacheHierarchy
 from repro.common.errors import InjectedFaultError, SourceError
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.netsim import FaultInjector, Outage, SimClock, Transient
 
 from tests.federation_fixtures import build_catalog
@@ -36,9 +36,7 @@ def fetch_caching_engine(policy=None, seed=0, with_replicas=False):
     injector = FaultInjector(seed=seed, clock=clock)
     catalog = build_catalog(injector=injector, with_replicas=with_replicas)
     cache = CacheHierarchy(CacheConfig(result_enabled=False), clock=clock)
-    engine = FederatedEngine(
-        catalog, clock=clock, cache=cache, resilience=policy
-    )
+    engine = FederatedEngine(catalog, EngineConfig(clock=clock, cache=cache, resilience=policy))
     return engine, injector, clock
 
 

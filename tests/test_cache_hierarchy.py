@@ -5,7 +5,7 @@ import pytest
 from repro.cache import CacheConfig, CacheHierarchy
 from repro.common.types import DataType as T
 from repro.eai import MessageBroker, ProcessEngine
-from repro.federation import FederatedEngine, FederationCatalog
+from repro.federation import EngineConfig, FederatedEngine, FederationCatalog
 from repro.mediator import MediatedSchema
 from repro.mediator.updates import UpdateSagaGenerator
 from repro.sources import RelationalSource
@@ -21,7 +21,7 @@ POINT = "SELECT name FROM customers WHERE id = 1"
 def caching_engine(catalog=None, **config_kwargs):
     config_kwargs.setdefault("result_enabled", False)
     cache = CacheHierarchy(CacheConfig(**config_kwargs))
-    engine = FederatedEngine(catalog or build_catalog(), cache=cache)
+    engine = FederatedEngine(catalog or build_catalog(), EngineConfig(cache=cache))
     return engine, cache
 
 
@@ -93,8 +93,8 @@ class TestFetchCache:
     def test_hierarchy_shared_between_engines(self):
         catalog = build_catalog()
         cache = CacheHierarchy(CacheConfig(result_enabled=False))
-        one = FederatedEngine(catalog, cache=cache)
-        two = FederatedEngine(catalog, cache=cache)
+        one = FederatedEngine(catalog, EngineConfig(cache=cache))
+        two = FederatedEngine(catalog, EngineConfig(cache=cache))
         one.query(JOIN)
         result = two.query(JOIN)
         assert result.metrics.fetch_cache_hits == 2
@@ -152,7 +152,7 @@ class TestInvalidation:
     def test_result_cache_evicted_too(self):
         catalog = build_catalog()
         cache = CacheHierarchy(CacheConfig())
-        engine = FederatedEngine(catalog, cache=cache)
+        engine = FederatedEngine(catalog, EngineConfig(cache=cache))
         broker = MessageBroker()
         engine.attach_invalidation(broker)
         engine.query(POINT)
@@ -163,7 +163,7 @@ class TestInvalidation:
     def test_engine_result_store_is_bounded(self):
         """Regression: FederatedEngine._cache grew one entry per query text."""
         cache = CacheHierarchy(CacheConfig(result_entries=4, fetch_enabled=False))
-        engine = FederatedEngine(build_catalog(), cache=cache)
+        engine = FederatedEngine(build_catalog(), EngineConfig(cache=cache))
         for i in range(20):
             engine.query(f"SELECT name FROM customers WHERE id = {i}")
         assert len(cache.results) <= 4
@@ -192,7 +192,7 @@ class TestMediatorWritePath:
         schema.define("customer360", self.VIEW_SQL)
         broker = MessageBroker()
         cache = CacheHierarchy(CacheConfig())
-        engine = FederatedEngine(catalog, cache=cache)
+        engine = FederatedEngine(catalog, EngineConfig(cache=cache))
         engine.attach_invalidation(broker)
         generator = UpdateSagaGenerator(schema, catalog, broker=broker)
         return engine, cache, generator

@@ -5,6 +5,7 @@ import pytest
 from repro.common.errors import PlanError, SchemaError
 from repro.common.types import DataType as T
 from repro.federation import (
+    EngineConfig,
     FederatedEngine,
     FederatedPlanner,
     FederationCatalog,
@@ -120,14 +121,14 @@ class TestCrossSourceJoins:
         assert result.elapsed_seconds > 0
 
     def test_assembly_site_prefers_biggest_producer(self):
-        engine = FederatedEngine(build_catalog(), semijoin="off")
+        engine = FederatedEngine(build_catalog(), EngineConfig(semijoin="off"))
         plan = engine.planner.plan(
             "SELECT c.id, o.id FROM customers c JOIN orders o ON c.id = o.cust_id"
         )
         assert plan.assembly_site == "sales"  # orders is the largest input
 
     def test_hub_only_when_disabled(self):
-        engine = FederatedEngine(build_catalog(), choose_assembly_site=False)
+        engine = FederatedEngine(build_catalog(), EngineConfig(choose_assembly_site=False))
         plan = engine.planner.plan(
             "SELECT c.id, o.id FROM customers c JOIN orders o ON c.id = o.cust_id"
         )
@@ -200,7 +201,7 @@ class TestBindJoins:
         assert result.relation.rows == [(630, "cust3")]
 
     def test_forced_semijoin_between_relational_sources(self):
-        engine = FederatedEngine(build_catalog(), semijoin="force")
+        engine = FederatedEngine(build_catalog(), EngineConfig(semijoin="force"))
         plan = engine.planner.plan(
             "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
         )
@@ -210,8 +211,8 @@ class TestBindJoins:
         assert len(result.relation) == 40
 
     def test_semijoin_off_ships_whole_tables(self):
-        off = FederatedEngine(build_catalog(), semijoin="off")
-        force = FederatedEngine(build_catalog(), semijoin="force")
+        off = FederatedEngine(build_catalog(), EngineConfig(semijoin="off"))
+        force = FederatedEngine(build_catalog(), EngineConfig(semijoin="force"))
         sql = (
             "SELECT c.name, o.total FROM customers c JOIN orders o "
             "ON c.id = o.cust_id WHERE c.city = 'SF'"
@@ -222,7 +223,7 @@ class TestBindJoins:
         assert force_result.metrics.rows_shipped <= off_result.metrics.rows_shipped
 
     def test_bind_join_chunking(self):
-        engine = FederatedEngine(build_catalog(), semijoin="force")
+        engine = FederatedEngine(build_catalog(), EngineConfig(semijoin="force"))
         engine.planner.max_inlist = 3
         plan = engine.planner.plan(
             "SELECT c.name, o.total FROM customers c JOIN orders o ON c.id = o.cust_id"
@@ -236,7 +237,7 @@ class TestBindJoins:
         assert len(result.relation) == 40
 
     def run_chunked(self, max_inlist, sql=None):
-        engine = FederatedEngine(build_catalog(), semijoin="force")
+        engine = FederatedEngine(build_catalog(), EngineConfig(semijoin="force"))
         engine.planner.max_inlist = max_inlist
         plan = engine.planner.plan(
             sql
@@ -284,9 +285,7 @@ class TestEquivalenceAcrossModes:
         results = []
         for semijoin in ("auto", "force", "off"):
             for site in (True, False):
-                engine = FederatedEngine(
-                    build_catalog(), semijoin=semijoin, choose_assembly_site=site
-                )
+                engine = FederatedEngine(build_catalog(), EngineConfig(semijoin=semijoin, choose_assembly_site=site))
                 results.append(engine.query(self.SQL).relation.sorted().rows)
         assert all(rows == results[0] for rows in results)
 
@@ -345,7 +344,7 @@ class TestParallelism:
             "JOIN regions r ON c.city = r.city "
             "JOIN orders o ON o.cust_id = c.id"
         )
-        serial = FederatedEngine(build_catalog(), parallel_workers=1).query(sql)
-        parallel = FederatedEngine(build_catalog(), parallel_workers=4).query(sql)
+        serial = FederatedEngine(build_catalog(), EngineConfig(parallel_workers=1)).query(sql)
+        parallel = FederatedEngine(build_catalog(), EngineConfig(parallel_workers=4)).query(sql)
         assert parallel.relation.sorted().rows == serial.relation.sorted().rows
         assert parallel.elapsed_seconds <= serial.elapsed_seconds

@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.bench import BenchConfig, build_enterprise
 from repro.engine import LocalEngine
-from repro.federation import FederatedEngine
+from repro.federation import EngineConfig, FederatedEngine
 from repro.storage import Database
 from repro.wrappers import CONSERVATIVE, GENERIC, QUIRK_AWARE
 
@@ -162,7 +162,7 @@ def test_federated_equals_colocated(sql, config, dialects):
         include_credit=False,
         include_docs=False,
     )
-    engine = FederatedEngine(catalog, **config)
+    engine = FederatedEngine(catalog, EngineConfig(**config))
     federated = engine.query(sql).relation.sorted()
     local = BASELINE.query(sql).sorted()
     assert federated.rows == local.rows, sql
@@ -276,18 +276,13 @@ def test_chaos_never_silently_wrong(sql, schedule, seed, partial):
     )
     for name, rules in schedule.items():
         injector.script(name, *rules)
-    engine = FederatedEngine(
-        catalog,
-        clock=clock,
-        parallel_workers=1,  # strict per-source call ordering for replay
+    engine = FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, # strict per-source call ordering for replay
         resilience=ResiliencePolicy(
             max_attempts=3,
             breaker_failure_threshold=3,
             breaker_cooldown_s=5.0,
             seed=seed,
-        ),
-        partial_results=partial,
-    )
+        ), partial_results=partial))
     oracle = BASELINE.query(sql).sorted()
     try:
         result = engine.query(sql)
@@ -317,13 +312,7 @@ def test_chaos_with_replay_is_deterministic(sql, seed):
         )
         injector.script("crm", ErrorRate(0.5))
         injector.script("sales", Transient(1))
-        engine = FederatedEngine(
-            catalog,
-            clock=clock,
-            parallel_workers=1,
-            resilience=ResiliencePolicy(max_attempts=2, seed=seed),
-            partial_results=True,
-        )
+        engine = FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, resilience=ResiliencePolicy(max_attempts=2, seed=seed), partial_results=True))
         try:
             result = engine.query(sql)
         except EIIError as exc:
@@ -366,14 +355,8 @@ def test_trace_accounts_for_metrics_and_replays_identically(sql, schedule, seed)
         for name, rules in schedule.items():
             # fault rules carry consumed-count state: replay needs fresh copies
             injector.script(name, *copy.deepcopy(rules))
-        engine = FederatedEngine(
-            catalog,
-            clock=clock,
-            parallel_workers=1,  # shared backoff RNG: serial order for replay
-            resilience=ResiliencePolicy(max_attempts=3, seed=seed),
-            partial_results=True,
-            tracer=Tracer(),
-        )
+        engine = FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, # shared backoff RNG: serial order for replay
+            resilience=ResiliencePolicy(max_attempts=3, seed=seed), partial_results=True, tracer=Tracer()))
         try:
             return engine.query(sql)
         except EIIError:
@@ -416,7 +399,7 @@ def test_trace_accounts_for_metrics_and_replays_identically(sql, schedule, seed)
 def test_adaptive_execution_matches_static(sql, config):
     config = dict(config, parallel_workers=1)
     catalog = FIXTURE.catalog(include_credit=False, include_docs=False)
-    adaptive = FederatedEngine(catalog, adaptive=True, **config)
+    adaptive = FederatedEngine(catalog, EngineConfig(adaptive=True, **config))
     oracle = BASELINE.query(sql).sorted().rows
     for _ in range(2):  # the second run plans from calibrations
         assert adaptive.query(sql).relation.sorted().rows == oracle, sql
@@ -489,15 +472,7 @@ def test_adaptive_trace_replays_identically(sql, schedule, seed):
         )
         for name, rules in schedule.items():
             injector.script(name, *copy.deepcopy(rules))
-        engine = FederatedEngine(
-            catalog,
-            clock=clock,
-            parallel_workers=1,
-            resilience=ResiliencePolicy(max_attempts=3, seed=seed),
-            partial_results=True,
-            tracer=Tracer(),
-            adaptive=True,
-        )
+        engine = FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, resilience=ResiliencePolicy(max_attempts=3, seed=seed), partial_results=True, tracer=Tracer(), adaptive=True))
         out = []
         try:
             for _ in range(2):  # second run exercises calibrated planning
@@ -538,15 +513,8 @@ def test_telemetry_is_observe_only(sql, schedule, seed):
         for name, rules in schedule.items():
             injector.script(name, *copy.deepcopy(rules))
         plane = TelemetryPlane(clock=clock) if telemetry_on else None
-        engine = FederatedEngine(
-            catalog,
-            clock=clock,
-            parallel_workers=1,  # shared backoff RNG: serial order for replay
-            resilience=ResiliencePolicy(max_attempts=3, seed=seed),
-            partial_results=True,
-            tracer=Tracer(),
-            telemetry=plane,
-        )
+        engine = FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, # shared backoff RNG: serial order for replay
+            resilience=ResiliencePolicy(max_attempts=3, seed=seed), partial_results=True, tracer=Tracer(), telemetry=plane))
         try:
             result = engine.query(sql)
         except EIIError as exc:

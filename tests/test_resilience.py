@@ -15,7 +15,7 @@ from repro.common.errors import (
     SourceError,
     SourceTimeoutError,
 )
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.federation.resilience import ResilienceManager
 from repro.netsim import (
     FaultInjector,
@@ -47,12 +47,7 @@ def faulty_engine(policy=None, seed=3, with_replicas=False, **engine_kwargs):
     clock = SimClock()
     injector = FaultInjector(seed=seed, clock=clock)
     catalog = build_catalog(injector=injector, with_replicas=with_replicas)
-    engine = FederatedEngine(
-        catalog,
-        clock=clock,
-        resilience=policy or ResiliencePolicy(),
-        **engine_kwargs,
-    )
+    engine = FederatedEngine(catalog, EngineConfig(clock=clock, resilience=policy or ResiliencePolicy(), **engine_kwargs))
     return engine, injector, clock
 
 
@@ -240,7 +235,7 @@ class TestPrefetchFailureDiscipline:
         injector = FaultInjector(seed=1, clock=clock)
         catalog = build_catalog(injector=injector)
         injector.script("crm", Outage())
-        engine = FederatedEngine(catalog, parallel_workers=workers, clock=clock)
+        engine = FederatedEngine(catalog, EngineConfig(parallel_workers=workers, clock=clock))
         return engine, injector
 
     @pytest.mark.parametrize("workers", [1, 4])
@@ -272,7 +267,7 @@ class TestPrefetchFailureDiscipline:
         clock = SimClock()
         injector = FaultInjector(seed=1, clock=clock)
         catalog = build_catalog(injector=injector)
-        engine = FederatedEngine(catalog, parallel_workers=1, clock=clock)
+        engine = FederatedEngine(catalog, EngineConfig(parallel_workers=1, clock=clock))
         plan = engine.planner.plan(JOIN_Q)
         assert [f.source.name for f in plan.fetches] == ["sales", "crm"]
         injector.script("crm", Outage())  # sales healthy, crm down
@@ -311,10 +306,10 @@ class TestTelemetry:
         injector = FaultInjector(seed=0, clock=clock)
         catalog = build_catalog(injector=injector)
         injector.script("crm", Outage())
-        first = FederatedEngine(catalog, clock=clock, resilience=manager)
+        first = FederatedEngine(catalog, EngineConfig(clock=clock, resilience=manager))
         with pytest.raises(SourceError):
             first.query(JOIN_Q)
         # a second engine sharing the manager sees the open breaker
-        second = FederatedEngine(catalog, clock=clock, resilience=manager)
+        second = FederatedEngine(catalog, EngineConfig(clock=clock, resilience=manager))
         with pytest.raises(CircuitOpenError):
             second.query(JOIN_Q)

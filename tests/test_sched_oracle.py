@@ -15,7 +15,7 @@ import os
 
 from repro.bench import BenchConfig, build_enterprise
 from repro.common.errors import EIIError
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.netsim import ErrorRate, FaultInjector, SimClock, Transient
 from repro.sched import (
     DEFAULT_TENANTS,
@@ -29,7 +29,7 @@ SEED = int(os.environ.get("SCHED_SEED", "7"))
 
 def fresh_engine(**kwargs):
     fixture = build_enterprise(BenchConfig(scale=1, seed=42))
-    return FederatedEngine(fixture.catalog(), **kwargs)
+    return FederatedEngine(fixture.catalog(), EngineConfig(**kwargs))
 
 
 def rows_of(outcome):
@@ -113,15 +113,9 @@ def faulty_engine(seed=SEED):
     catalog = fixture.catalog(wrap=injector.wrap)
     for name, rules in FAULT_RULES.items():
         injector.script(name, *copy.deepcopy(rules))
-    return FederatedEngine(
-        catalog,
-        clock=clock,
-        parallel_workers=1,
-        resilience=ResiliencePolicy(
+    return FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, resilience=ResiliencePolicy(
             max_attempts=3, breaker_failure_threshold=None, seed=seed
-        ),
-        partial_results=True,
-    )
+        ), partial_results=True))
 
 
 def serial_replay(concurrent):

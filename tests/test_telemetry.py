@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.netsim import ErrorRate, FaultInjector, Outage, SimClock
 from repro.sched import QueryOutcome, QueryRequest
 from repro.telemetry import (
@@ -473,13 +473,7 @@ def engine_pair(seed=3):
         injector = FaultInjector(seed=seed, clock=clock)
         injector.script("crm", ErrorRate(0.3))
         catalog = build_catalog(injector=injector)
-        return FederatedEngine(
-            catalog,
-            clock=clock,
-            parallel_workers=1,
-            resilience=ResiliencePolicy(max_attempts=3, backoff_jitter=0.0),
-            telemetry=telemetry,
-        )
+        return FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, resilience=ResiliencePolicy(max_attempts=3, backoff_jitter=0.0), telemetry=telemetry))
 
     return build(None), build(TelemetryPlane(window_s=0.5))
 
@@ -509,13 +503,7 @@ class TestEngineIntegration:
         from repro.cache import CacheHierarchy
 
         clock = SimClock()
-        engine = FederatedEngine(
-            build_catalog(),
-            clock=clock,
-            parallel_workers=1,
-            cache=CacheHierarchy(clock=clock),
-            telemetry=TelemetryPlane(),
-        )
+        engine = FederatedEngine(build_catalog(), EngineConfig(clock=clock, parallel_workers=1, cache=CacheHierarchy(clock=clock), telemetry=TelemetryPlane()))
         engine.query(JOIN_Q)
         engine.query(JOIN_Q)
         registry = engine.telemetry.registry
@@ -529,15 +517,9 @@ class TestEngineIntegration:
         injector = FaultInjector(seed=1, clock=clock)
         injector.script("crm", Outage())
         plane = TelemetryPlane(window_s=0.5)
-        engine = FederatedEngine(
-            build_catalog(injector=injector),
-            clock=clock,
-            parallel_workers=1,
-            resilience=ResiliencePolicy(
+        engine = FederatedEngine(build_catalog(injector=injector), EngineConfig(clock=clock, parallel_workers=1, resilience=ResiliencePolicy(
                 max_attempts=1, breaker_failure_threshold=2, failover=False
-            ),
-            telemetry=plane,
-        )
+            ), telemetry=plane))
         from repro.common.errors import EIIError
 
         for _ in range(3):

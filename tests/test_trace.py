@@ -11,7 +11,7 @@ import json
 
 import pytest
 
-from repro.federation import FederatedEngine, ResiliencePolicy
+from repro.federation import EngineConfig, FederatedEngine, ResiliencePolicy
 from repro.netsim import FaultInjector, Outage, SimClock, Transient
 from repro.trace import (
     NULL_TRACER,
@@ -42,14 +42,7 @@ def traced_engine(policy=None, seed=3, tracer=None, **engine_kwargs):
     clock = SimClock()
     injector = FaultInjector(seed=seed, clock=clock)
     catalog = build_catalog(injector=injector)
-    engine = FederatedEngine(
-        catalog,
-        clock=clock,
-        parallel_workers=1,
-        resilience=policy,
-        tracer=tracer,
-        **engine_kwargs,
-    )
+    engine = FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=1, resilience=policy, tracer=tracer, **engine_kwargs))
     return engine, injector
 
 
@@ -146,9 +139,7 @@ class TestEndToEndTrace:
     def test_parallel_prefetch_layout_matches_engine_makespan(self):
         clock = SimClock()
         catalog = build_catalog()
-        engine = FederatedEngine(
-            catalog, clock=clock, parallel_workers=2, tracer=Tracer()
-        )
+        engine = FederatedEngine(catalog, EngineConfig(clock=clock, parallel_workers=2, tracer=Tracer()))
         result = engine.query(JOIN_Q)
         assert result.trace.elapsed_seconds() == pytest.approx(
             result.elapsed_seconds, abs=1e-9
@@ -170,15 +161,9 @@ class TestEndToEndTrace:
         from repro.cache import CacheConfig, CacheHierarchy
 
         clock = SimClock()
-        engine = FederatedEngine(
-            build_catalog(),
-            clock=clock,
-            parallel_workers=1,
-            cache=CacheHierarchy(
+        engine = FederatedEngine(build_catalog(), EngineConfig(clock=clock, parallel_workers=1, cache=CacheHierarchy(
                 CacheConfig(fetch_enabled=True, result_enabled=False), clock=clock
-            ),
-            tracer=Tracer(),
-        )
+            ), tracer=Tracer()))
         engine.query(JOIN_Q)
         second = engine.query(JOIN_Q)
         cached = [
@@ -193,14 +178,9 @@ class TestEndToEndTrace:
 
         tracer = Tracer()
         clock = SimClock()
-        engine = FederatedEngine(
-            build_catalog(),
-            clock=clock,
-            cache=CacheHierarchy(
+        engine = FederatedEngine(build_catalog(), EngineConfig(clock=clock, cache=CacheHierarchy(
                 CacheConfig(fetch_enabled=True, result_enabled=False), clock=clock
-            ),
-            tracer=tracer,
-        )
+            ), tracer=tracer))
         engine.query(JOIN_Q)
         engine.cache.invalidate_table("orders")
         assert any(
@@ -215,18 +195,11 @@ class TestEndToEndTrace:
         clock = SimClock()
         injector = FaultInjector(seed=1, clock=clock)
         tracer = Tracer()
-        engine = FederatedEngine(
-            build_catalog(injector=injector),
-            clock=clock,
-            parallel_workers=1,
-            cache=CacheHierarchy(
+        engine = FederatedEngine(build_catalog(injector=injector), EngineConfig(clock=clock, parallel_workers=1, cache=CacheHierarchy(
                 CacheConfig(fetch_enabled=True, result_enabled=False), clock=clock
-            ),
-            resilience=ResiliencePolicy(
+            ), resilience=ResiliencePolicy(
                 max_attempts=1, breaker_failure_threshold=1, failover=False
-            ),
-            tracer=tracer,
-        )
+            ), tracer=tracer))
         engine.query(JOIN_Q)  # warm the fetch cache
         injector.script("sales", Outage())
         with pytest.raises(EIIError):
